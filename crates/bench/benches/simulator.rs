@@ -1,0 +1,94 @@
+//! Criterion benches of the simulator's own hot paths: how many simulated
+//! accesses per second the model sustains. These guard the usability of
+//! the reproduction (full-profile figures walk billions of events).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use sgx_bench_core::prelude::*;
+use std::hint::black_box;
+
+fn bench_access_paths(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sim_access");
+    const N: usize = 100_000;
+    g.throughput(Throughput::Elements(N as u64));
+    g.sample_size(20);
+    for setting in [Setting::PlainCpu, Setting::SgxDataInEnclave] {
+        let tag = match setting {
+            Setting::PlainCpu => "native",
+            _ => "sgx",
+        };
+        g.bench_function(format!("random_rmw/{tag}"), |b| {
+            let mut m = Machine::new(config::scaled_profile(), setting);
+            let mut v = m.alloc::<u64>(1 << 20);
+            b.iter(|| {
+                m.run(|core| {
+                    let mut x = 7u64;
+                    for _ in 0..N {
+                        x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+                        v.rmw(core, (x >> 33) as usize & ((1 << 20) - 1), |e| *e += 1);
+                    }
+                });
+                black_box(m.wall_cycles())
+            })
+        });
+        g.bench_function(format!("stream_read/{tag}"), |b| {
+            let mut m = Machine::new(config::scaled_profile(), setting);
+            let v = m.alloc::<u64>(N);
+            b.iter(|| {
+                let mut sum = 0u64;
+                m.run(|core| {
+                    v.read_stream(core, 0..N, |_, _, x| sum = sum.wrapping_add(x));
+                });
+                black_box(sum)
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_grouped_issue(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sim_groups");
+    const N: usize = 100_000;
+    g.throughput(Throughput::Elements(N as u64));
+    g.sample_size(20);
+    g.bench_function("grouped_rmw/sgx", |b| {
+        let mut m = Machine::new(config::scaled_profile(), Setting::SgxDataInEnclave);
+        let mut v = m.alloc::<u32>(4096);
+        b.iter(|| {
+            m.run(|core| {
+                let mut x = 7u64;
+                for _ in 0..N / 8 {
+                    let mut idx = [0usize; 8];
+                    for slot in &mut idx {
+                        x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+                        *slot = (x >> 33) as usize & 4095;
+                    }
+                    core.group(|core| {
+                        for &i in &idx {
+                            v.rmw(core, i, |e| *e += 1);
+                        }
+                    });
+                }
+            });
+            black_box(m.wall_cycles())
+        })
+    });
+    g.finish();
+}
+
+fn bench_parallel_phases(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sim_phases");
+    g.sample_size(10);
+    g.bench_function("parallel16_scan", |b| {
+        let mut m = Machine::new(config::scaled_profile(), Setting::SgxDataInEnclave);
+        let col = gen_column(&mut m, 4 << 20, 3);
+        b.iter(|| {
+            let stats =
+                column_scan(&mut m, &col, 32, 96, ScanOutput::BitVector, &ScanConfig::new(16));
+            black_box(stats.matches)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_access_paths, bench_grouped_issue, bench_parallel_phases);
+criterion_main!(benches);

@@ -1,0 +1,11 @@
+//! Extension: CrkJoin vs RHO on an SGXv1-style EPC.
+//!
+//! Options: `--full` (paper-exact sizes), `--reps N`, `--scale N`.
+
+use sgx_bench_core::experiments::sgxv1_ablation;
+use sgx_bench_core::RunOpts;
+
+fn main() {
+    let profile = RunOpts::parse().profile();
+    sgxv1_ablation(&profile).emit();
+}

@@ -1,0 +1,37 @@
+//! Regenerate every table and figure of the paper in order.
+//!
+//! Options: `--full` (paper-exact sizes), `--reps N`, `--scale N`.
+
+use sgx_bench_core::experiments as ex;
+use sgx_bench_core::RunOpts;
+
+fn main() {
+    let profile = RunOpts::parse().profile();
+    eprintln!("profile: {} (data 1/{}, {} reps)", profile.hw.name, profile.data_div, profile.reps);
+    ex::table1(&profile).emit();
+    ex::fig01_intro(&profile).emit();
+    ex::fig03_overview(&profile).emit();
+    let (a, b) = ex::fig04_pht(&profile);
+    a.emit();
+    b.emit();
+    ex::fig05_random_access(&profile).emit();
+    ex::fig06_rho_breakdown(&profile).emit();
+    ex::fig07_histogram(&profile).emit();
+    ex::fig08_optimized(&profile).emit();
+    ex::fig09_numa_join(&profile).emit();
+    ex::fig10_queues(&profile).emit();
+    ex::fig11_edmm(&profile).emit();
+    ex::fig12_scan_single(&profile).emit();
+    ex::fig13_scan_scaling(&profile).emit();
+    ex::fig14_selectivity(&profile).emit();
+    ex::fig15_linear(&profile).emit();
+    ex::fig16_numa_scan(&profile).emit();
+    ex::fig17_tpch(&profile).emit();
+    ex::sgxv1_ablation(&profile).emit();
+    ex::ext_skew(&profile).emit();
+    ex::ext_aggregation(&profile).emit();
+    ex::ext_dual_socket_scan(&profile).emit();
+    ex::ext_packed_scan(&profile).emit();
+    ex::ablation_swwcb(&profile).emit();
+    ex::ablation_radix_bits(&profile).emit();
+}

@@ -1,0 +1,20 @@
+//! Reproduction extensions: Zipf-skewed joins, grouped aggregation, and
+//! dual-socket EPC scans.
+//!
+//! Options: `--full` (paper-exact sizes), `--reps N`, `--scale N`.
+
+use sgx_bench_core::experiments::{
+    ablation_radix_bits, ablation_swwcb, ext_aggregation, ext_dual_socket_scan,
+    ext_packed_scan, ext_skew,
+};
+use sgx_bench_core::RunOpts;
+
+fn main() {
+    let profile = RunOpts::parse().profile();
+    ext_skew(&profile).emit();
+    ext_aggregation(&profile).emit();
+    ext_dual_socket_scan(&profile).emit();
+    ext_packed_scan(&profile).emit();
+    ablation_swwcb(&profile).emit();
+    ablation_radix_bits(&profile).emit();
+}

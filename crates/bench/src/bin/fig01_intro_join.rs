@@ -1,0 +1,11 @@
+//! Fig 1: SGXv1-optimized vs state-of-the-art joins inside SGXv2.
+//!
+//! Options: `--full` (paper-exact sizes), `--reps N`, `--scale N`.
+
+use sgx_bench_core::experiments::fig01_intro;
+use sgx_bench_core::RunOpts;
+
+fn main() {
+    let profile = RunOpts::parse().profile();
+    fig01_intro(&profile).emit();
+}

@@ -1,0 +1,11 @@
+//! Fig 3: all five joins, plain CPU vs SGX.
+//!
+//! Options: `--full` (paper-exact sizes), `--reps N`, `--scale N`.
+
+use sgx_bench_core::experiments::fig03_overview;
+use sgx_bench_core::RunOpts;
+
+fn main() {
+    let profile = RunOpts::parse().profile();
+    fig03_overview(&profile).emit();
+}

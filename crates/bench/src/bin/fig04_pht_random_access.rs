@@ -1,0 +1,13 @@
+//! Fig 4: PHT single-thread relative throughput and phase breakdown.
+//!
+//! Options: `--full` (paper-exact sizes), `--reps N`, `--scale N`.
+
+use sgx_bench_core::experiments::fig04_pht;
+use sgx_bench_core::RunOpts;
+
+fn main() {
+    let profile = RunOpts::parse().profile();
+    let (left, right) = fig04_pht(&profile);
+    left.emit();
+    right.emit();
+}

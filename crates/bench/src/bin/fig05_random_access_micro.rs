@@ -1,0 +1,11 @@
+//! Fig 5: random read/write micro-benchmarks.
+//!
+//! Options: `--full` (paper-exact sizes), `--reps N`, `--scale N`.
+
+use sgx_bench_core::experiments::fig05_random_access;
+use sgx_bench_core::RunOpts;
+
+fn main() {
+    let profile = RunOpts::parse().profile();
+    fig05_random_access(&profile).emit();
+}

@@ -1,0 +1,11 @@
+//! Fig 6: RHO phase breakdown, naive vs unrolled.
+//!
+//! Options: `--full` (paper-exact sizes), `--reps N`, `--scale N`.
+
+use sgx_bench_core::experiments::fig06_rho_breakdown;
+use sgx_bench_core::RunOpts;
+
+fn main() {
+    let profile = RunOpts::parse().profile();
+    fig06_rho_breakdown(&profile).emit();
+}

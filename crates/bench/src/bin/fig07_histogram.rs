@@ -1,0 +1,11 @@
+//! Fig 7: radix histogram kernels across settings.
+//!
+//! Options: `--full` (paper-exact sizes), `--reps N`, `--scale N`.
+
+use sgx_bench_core::experiments::fig07_histogram;
+use sgx_bench_core::RunOpts;
+
+fn main() {
+    let profile = RunOpts::parse().profile();
+    fig07_histogram(&profile).emit();
+}

@@ -1,0 +1,11 @@
+//! Fig 8: optimization effect on RHO and PHT.
+//!
+//! Options: `--full` (paper-exact sizes), `--reps N`, `--scale N`.
+
+use sgx_bench_core::experiments::fig08_optimized;
+use sgx_bench_core::RunOpts;
+
+fn main() {
+    let profile = RunOpts::parse().profile();
+    fig08_optimized(&profile).emit();
+}

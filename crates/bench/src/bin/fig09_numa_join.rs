@@ -1,0 +1,11 @@
+//! Fig 9: NUMA extremes for the RHO join.
+//!
+//! Options: `--full` (paper-exact sizes), `--reps N`, `--scale N`.
+
+use sgx_bench_core::experiments::fig09_numa_join;
+use sgx_bench_core::RunOpts;
+
+fn main() {
+    let profile = RunOpts::parse().profile();
+    fig09_numa_join(&profile).emit();
+}

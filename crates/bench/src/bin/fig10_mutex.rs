@@ -1,0 +1,11 @@
+//! Fig 10: task queue contention, lock-free vs SDK mutex.
+//!
+//! Options: `--full` (paper-exact sizes), `--reps N`, `--scale N`.
+
+use sgx_bench_core::experiments::fig10_queues;
+use sgx_bench_core::RunOpts;
+
+fn main() {
+    let profile = RunOpts::parse().profile();
+    fig10_queues(&profile).emit();
+}

@@ -1,0 +1,11 @@
+//! Fig 11: static vs dynamically grown enclave.
+//!
+//! Options: `--full` (paper-exact sizes), `--reps N`, `--scale N`.
+
+use sgx_bench_core::experiments::fig11_edmm;
+use sgx_bench_core::RunOpts;
+
+fn main() {
+    let profile = RunOpts::parse().profile();
+    fig11_edmm(&profile).emit();
+}

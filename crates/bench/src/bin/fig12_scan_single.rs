@@ -1,0 +1,11 @@
+//! Fig 12: single-threaded scan throughput.
+//!
+//! Options: `--full` (paper-exact sizes), `--reps N`, `--scale N`.
+
+use sgx_bench_core::experiments::fig12_scan_single;
+use sgx_bench_core::RunOpts;
+
+fn main() {
+    let profile = RunOpts::parse().profile();
+    fig12_scan_single(&profile).emit();
+}

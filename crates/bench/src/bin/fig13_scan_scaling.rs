@@ -1,0 +1,11 @@
+//! Fig 13: scan thread scaling.
+//!
+//! Options: `--full` (paper-exact sizes), `--reps N`, `--scale N`.
+
+use sgx_bench_core::experiments::fig13_scan_scaling;
+use sgx_bench_core::RunOpts;
+
+fn main() {
+    let profile = RunOpts::parse().profile();
+    fig13_scan_scaling(&profile).emit();
+}

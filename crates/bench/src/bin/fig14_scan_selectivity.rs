@@ -1,0 +1,11 @@
+//! Fig 14: scan write-rate sweep.
+//!
+//! Options: `--full` (paper-exact sizes), `--reps N`, `--scale N`.
+
+use sgx_bench_core::experiments::fig14_selectivity;
+use sgx_bench_core::RunOpts;
+
+fn main() {
+    let profile = RunOpts::parse().profile();
+    fig14_selectivity(&profile).emit();
+}

@@ -1,0 +1,11 @@
+//! Fig 15: linear read/write kernels.
+//!
+//! Options: `--full` (paper-exact sizes), `--reps N`, `--scale N`.
+
+use sgx_bench_core::experiments::fig15_linear;
+use sgx_bench_core::RunOpts;
+
+fn main() {
+    let profile = RunOpts::parse().profile();
+    fig15_linear(&profile).emit();
+}

@@ -1,0 +1,11 @@
+//! Fig 16: cross-NUMA scans.
+//!
+//! Options: `--full` (paper-exact sizes), `--reps N`, `--scale N`.
+
+use sgx_bench_core::experiments::fig16_numa_scan;
+use sgx_bench_core::RunOpts;
+
+fn main() {
+    let profile = RunOpts::parse().profile();
+    fig16_numa_scan(&profile).emit();
+}

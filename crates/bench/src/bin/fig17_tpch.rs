@@ -1,0 +1,11 @@
+//! Fig 17: TPC-H Q3/Q10/Q12/Q19.
+//!
+//! Options: `--full` (paper-exact sizes), `--reps N`, `--scale N`.
+
+use sgx_bench_core::experiments::fig17_tpch;
+use sgx_bench_core::RunOpts;
+
+fn main() {
+    let profile = RunOpts::parse().profile();
+    fig17_tpch(&profile).emit();
+}

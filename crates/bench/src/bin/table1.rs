@@ -1,0 +1,11 @@
+//! Print the simulated hardware description (paper Table 1).
+//!
+//! Options: `--full` (paper-exact sizes), `--reps N`, `--scale N`.
+
+use sgx_bench_core::experiments::table1;
+use sgx_bench_core::RunOpts;
+
+fn main() {
+    let profile = RunOpts::parse().profile();
+    table1(&profile).emit();
+}

@@ -1,0 +1,6 @@
+//! Figure-regeneration binaries (`src/bin/figNN_*.rs`, one per paper
+//! table/figure) and Criterion benches over the operator implementations.
+//!
+//! The experiment logic itself lives in `sgx_bench_core::experiments` so
+//! the workspace integration tests can exercise the same code paths on a
+//! tiny profile.

@@ -1,0 +1,229 @@
+//! SVG rendering for [`Figure`]s: grouped bar charts with error bars,
+//! matching the paper's presentation. Pure-std string generation — no
+//! plotting dependency — so `cargo run -p bench --bin figNN` drops a
+//! ready-to-view `.svg` next to the `.json`.
+
+use crate::report::Figure;
+use std::fmt::Write as _;
+
+/// Canvas geometry (pixels).
+const WIDTH: f64 = 860.0;
+const HEIGHT: f64 = 420.0;
+const MARGIN_LEFT: f64 = 70.0;
+const MARGIN_RIGHT: f64 = 20.0;
+const MARGIN_TOP: f64 = 48.0;
+const MARGIN_BOTTOM: f64 = 96.0;
+
+/// Colorblind-safe categorical palette (Okabe-Ito).
+const PALETTE: [&str; 7] =
+    ["#0072B2", "#E69F00", "#009E73", "#D55E00", "#CC79A7", "#56B4E9", "#F0E442"];
+
+/// Round a value up to a "nice" axis maximum (1/2/5 × 10^k).
+fn nice_ceil(v: f64) -> f64 {
+    if v <= 0.0 {
+        return 1.0;
+    }
+    let mag = 10f64.powf(v.log10().floor());
+    for m in [1.0, 2.0, 5.0, 10.0] {
+        if v <= m * mag {
+            return m * mag;
+        }
+    }
+    10.0 * mag
+}
+
+/// Escape XML-special characters in labels.
+fn esc(s: &str) -> String {
+    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+}
+
+impl Figure {
+    /// Render the figure as a grouped bar chart in SVG.
+    pub fn to_svg(&self) -> String {
+        let plot_w = WIDTH - MARGIN_LEFT - MARGIN_RIGHT;
+        let plot_h = HEIGHT - MARGIN_TOP - MARGIN_BOTTOM;
+        let n_x = self.xs.len().max(1) as f64;
+        let n_s = self.series.len().max(1) as f64;
+
+        let y_max = nice_ceil(
+            self.series
+                .iter()
+                .flat_map(|s| s.points.iter().flatten())
+                .map(|st| st.mean + st.stddev)
+                .fold(0.0, f64::max),
+        );
+        let y = |v: f64| MARGIN_TOP + plot_h * (1.0 - (v / y_max).clamp(0.0, 1.0));
+
+        let mut svg = String::new();
+        let _ = write!(
+            svg,
+            r#"<svg xmlns="http://www.w3.org/2000/svg" width="{WIDTH}" height="{HEIGHT}" viewBox="0 0 {WIDTH} {HEIGHT}" font-family="sans-serif">"#
+        );
+        let _ = write!(svg, r#"<rect width="{WIDTH}" height="{HEIGHT}" fill="white"/>"#);
+        // Title.
+        let _ = write!(
+            svg,
+            r#"<text x="{}" y="22" font-size="15" font-weight="bold">{} — {}</text>"#,
+            MARGIN_LEFT,
+            esc(&self.id),
+            esc(&self.title)
+        );
+
+        // Horizontal gridlines + y tick labels.
+        for tick in 0..=5 {
+            let v = y_max * tick as f64 / 5.0;
+            let yy = y(v);
+            let _ = write!(
+                svg,
+                r##"<line x1="{}" y1="{yy}" x2="{}" y2="{yy}" stroke="#ddd"/>"##,
+                MARGIN_LEFT,
+                WIDTH - MARGIN_RIGHT
+            );
+            let label = if y_max >= 100.0 { format!("{v:.0}") } else { format!("{v:.2}") };
+            let _ = write!(
+                svg,
+                r#"<text x="{}" y="{}" font-size="11" text-anchor="end">{label}</text>"#,
+                MARGIN_LEFT - 6.0,
+                yy + 4.0
+            );
+        }
+        // Unit label on the y axis.
+        let _ = write!(
+            svg,
+            r#"<text x="14" y="{}" font-size="12" transform="rotate(-90 14 {})" text-anchor="middle">{}</text>"#,
+            MARGIN_TOP + plot_h / 2.0,
+            MARGIN_TOP + plot_h / 2.0,
+            esc(&self.unit)
+        );
+
+        // Bars.
+        let group_w = plot_w / n_x;
+        let bar_w = (group_w * 0.8) / n_s;
+        for (si, series) in self.series.iter().enumerate() {
+            let color = PALETTE[si % PALETTE.len()];
+            for (xi, point) in series.points.iter().enumerate() {
+                let Some(st) = point else { continue };
+                let x0 = MARGIN_LEFT
+                    + group_w * xi as f64
+                    + group_w * 0.1
+                    + bar_w * si as f64;
+                let y0 = y(st.mean);
+                let h = (MARGIN_TOP + plot_h - y0).max(0.5);
+                let _ = write!(
+                    svg,
+                    r#"<rect x="{x0:.1}" y="{y0:.1}" width="{:.1}" height="{h:.1}" fill="{color}"><title>{}: {:.3}</title></rect>"#,
+                    bar_w.max(1.0) - 1.0,
+                    esc(&series.label),
+                    st.mean
+                );
+                if st.stddev > 0.0 {
+                    let xc = x0 + bar_w / 2.0;
+                    let (ylo, yhi) = (y(st.mean - st.stddev), y(st.mean + st.stddev));
+                    let _ = write!(
+                        svg,
+                        r#"<line x1="{xc:.1}" y1="{ylo:.1}" x2="{xc:.1}" y2="{yhi:.1}" stroke="black" stroke-width="1"/>"#
+                    );
+                }
+            }
+        }
+
+        // X tick labels (rotated when long).
+        for (xi, label) in self.xs.iter().enumerate() {
+            let xc = MARGIN_LEFT + group_w * (xi as f64 + 0.5);
+            let yy = MARGIN_TOP + plot_h + 14.0;
+            let rotate = label.len() > 8;
+            if rotate {
+                let _ = write!(
+                    svg,
+                    r#"<text x="{xc:.1}" y="{yy:.1}" font-size="11" text-anchor="end" transform="rotate(-30 {xc:.1} {yy:.1})">{}</text>"#,
+                    esc(label)
+                );
+            } else {
+                let _ = write!(
+                    svg,
+                    r#"<text x="{xc:.1}" y="{yy:.1}" font-size="11" text-anchor="middle">{}</text>"#,
+                    esc(label)
+                );
+            }
+        }
+
+        // Legend (bottom row).
+        let mut lx = MARGIN_LEFT;
+        let ly = HEIGHT - 14.0;
+        for (si, series) in self.series.iter().enumerate() {
+            let color = PALETTE[si % PALETTE.len()];
+            let _ = write!(svg, r#"<rect x="{lx:.1}" y="{:.1}" width="11" height="11" fill="{color}"/>"#, ly - 10.0);
+            let _ = write!(
+                svg,
+                r#"<text x="{:.1}" y="{ly:.1}" font-size="11">{}</text>"#,
+                lx + 15.0,
+                esc(&series.label)
+            );
+            lx += 22.0 + 7.0 * series.label.len() as f64;
+        }
+        svg.push_str("</svg>");
+        svg
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::report::Stat;
+
+    fn demo() -> Figure {
+        let mut f = Figure::new("figX", "demo <chart>", "size", "GB/s").with_xs(["1 MB", "1 GB"]);
+        f.push_series("native", vec![Some(Stat::exact(10.0)), Some(Stat::exact(5.0))]);
+        f.push_series(
+            "SGX & co",
+            vec![Some(Stat { mean: 9.0, stddev: 0.4 }), None],
+        );
+        f
+    }
+
+    #[test]
+    fn svg_has_bars_legend_and_escaping() {
+        let svg = demo().to_svg();
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.ends_with("</svg>"));
+        // Three bars drawn (one point is None) + legend swatches.
+        assert_eq!(svg.matches("<rect").count(), 1 + 3 + 2, "background + bars + legend");
+        assert!(svg.contains("SGX &amp; co"), "labels are XML-escaped");
+        assert!(svg.contains("demo &lt;chart&gt;"));
+        // Error bar for the stddev point.
+        assert!(svg.contains(r#"stroke="black""#));
+    }
+
+    #[test]
+    fn nice_ceil_picks_round_maxima() {
+        assert_eq!(nice_ceil(0.0), 1.0);
+        assert_eq!(nice_ceil(3.2), 5.0);
+        assert_eq!(nice_ceil(51.0), 100.0);
+        assert_eq!(nice_ceil(100.0), 100.0);
+        assert_eq!(nice_ceil(0.07), 0.1);
+    }
+
+    #[test]
+    fn empty_figure_renders_without_panicking() {
+        let f = Figure::new("empty", "nothing", "x", "u");
+        let svg = f.to_svg();
+        assert!(svg.contains("</svg>"));
+    }
+
+    #[test]
+    fn bars_scale_with_value() {
+        let svg = demo().to_svg();
+        // The first series' two bars (10.0 then 5.0) share the palette's
+        // first color; the taller value must produce the taller rect.
+        let heights: Vec<f64> = svg
+            .split("<rect ")
+            .filter(|frag| frag.contains(PALETTE[0]))
+            .map(|frag| {
+                let h = frag.split("height=\"").nth(1).expect("rect has height");
+                h.split('"').next().unwrap().parse::<f64>().expect("numeric height")
+            })
+            .collect();
+        assert_eq!(heights.len(), 2 + 1, "two bars + one legend swatch");
+        assert!(heights[0] > heights[1], "10.0 bar taller than 5.0 bar: {heights:?}");
+    }
+}

@@ -1,0 +1,104 @@
+//! Micro-benchmark experiments: Figs 5 and 7.
+
+use crate::profiles::BenchProfile;
+use crate::repeat;
+use crate::report::Figure;
+use sgx_microbench::{histogram_bench, pointer_chase, random_write, HistKernel};
+use sgx_sim::Setting;
+
+/// Array sizes for Fig 5, expressed relative to the profile's caches so
+/// the cache-residency transitions land in the same places as the paper's
+/// 256 KB … 16 GB sweep.
+fn fig05_sizes(p: &BenchProfile) -> Vec<(String, usize)> {
+    let l2 = p.hw.l2.size;
+    let l3 = p.hw.l3.size;
+    vec![
+        ("L2/2".to_string(), l2 / 2),
+        ("L3/2".to_string(), l3 / 2),
+        ("2xL3".to_string(), 2 * l3),
+        ("8xL3".to_string(), 8 * l3),
+        ("32xL3".to_string(), 32 * l3),
+        ("128xL3".to_string(), 128 * l3),
+    ]
+}
+
+/// Fig 5: random read (pointer chasing) and random write performance in
+/// the enclave relative to the plain CPU, across array sizes.
+pub fn fig05_random_access(p: &BenchProfile) -> Figure {
+    let sizes = fig05_sizes(p);
+    let mut fig = Figure::new(
+        "fig05",
+        "Random memory access in SGX relative to plain CPU",
+        "array size",
+        "relative",
+    )
+    .with_xs(sizes.iter().map(|(l, _)| l.clone()));
+
+    let steps = 150_000u64;
+    let reads = sizes
+        .iter()
+        .map(|&(_, bytes)| {
+            Some(repeat(p.reps, |seed| {
+                let native = pointer_chase(p.hw.clone(), Setting::PlainCpu, bytes, steps, seed);
+                let sgx =
+                    pointer_chase(p.hw.clone(), Setting::SgxDataInEnclave, bytes, steps, seed);
+                native.cycles / sgx.cycles
+            }))
+        })
+        .collect();
+    fig.push_series("random reads (pointer chase)", reads);
+
+    let writes = sizes
+        .iter()
+        .map(|&(_, bytes)| {
+            Some(repeat(p.reps, |seed| {
+                let native =
+                    random_write(p.hw.clone(), Setting::PlainCpu, bytes, 1_000_000, seed);
+                let sgx =
+                    random_write(p.hw.clone(), Setting::SgxDataInEnclave, bytes, 1_000_000, seed);
+                native.cycles / sgx.cycles
+            }))
+        })
+        .collect();
+    fig.push_series("random writes (LCG)", writes);
+    fig.note("paper: in-cache parity; reads bottom out near 53%, writes below 40%");
+    fig
+}
+
+/// Fig 7: the radix-histogram micro-benchmark over typical bin counts,
+/// comparing the three settings and the unrolled kernels (§4.2).
+pub fn fig07_histogram(p: &BenchProfile) -> Figure {
+    // "Typical numbers of histogram bins" must stay cache-resident like
+    // the paper's: cap the sweep so the largest histogram fits the L2.
+    let max_bins = (p.hw.l2.size / 8).next_power_of_two() / 2;
+    let bins: Vec<usize> =
+        [1 << 6, 1 << 9, 1 << 12, 1 << 15].iter().map(|&b: &usize| b.min(max_bins)).collect();
+    let n_keys = p.rel_rows(100).min(4_000_000);
+    let mut fig = Figure::new(
+        "fig07",
+        "Histogram creation time over bin counts",
+        "bins",
+        "cycles / key",
+    )
+    .with_xs(bins.iter().map(|b| b.to_string()));
+    for (label, setting, kernel) in [
+        ("Plain CPU", Setting::PlainCpu, HistKernel::Naive),
+        ("SGX Data in Enclave", Setting::SgxDataInEnclave, HistKernel::Naive),
+        ("SGX Data outside Enclave", Setting::SgxDataOutside, HistKernel::Naive),
+        ("SGX unrolled x8", Setting::SgxDataInEnclave, HistKernel::Unrolled8),
+        ("SGX SIMD x32", Setting::SgxDataInEnclave, HistKernel::Simd32),
+    ] {
+        let points = bins
+            .iter()
+            .map(|&b| {
+                Some(repeat(p.reps, |seed| {
+                    let r = histogram_bench(p.hw.clone(), setting, n_keys, b, kernel, seed);
+                    r.cycles / r.keys as f64
+                }))
+            })
+            .collect();
+        fig.push_series(label, points);
+    }
+    fig.note("paper: naive 225% slower in enclave mode regardless of data location; unrolling brings it to ~20%");
+    fig
+}

@@ -1,0 +1,61 @@
+//! Table 1: the benchmark hardware description.
+
+use crate::profiles::BenchProfile;
+use crate::report::{Figure, Stat};
+
+/// Table 1: print the simulated machine's parameters (the paper's server,
+/// possibly scaled). Values are numeric (bytes, counts, GHz); the figure
+/// notes carry the units per row.
+pub fn table1(p: &BenchProfile) -> Figure {
+    let hw = &p.hw;
+    let rows: Vec<(&str, f64)> = vec![
+        ("Sockets", hw.sockets as f64),
+        ("Cores per socket", hw.cores_per_socket as f64),
+        ("Base frequency (GHz)", hw.freq_ghz),
+        ("L1d per core (KB)", hw.l1d.size as f64 / 1024.0),
+        ("L2 per core (KB)", hw.l2.size as f64 / 1024.0),
+        ("L3 per socket (MB)", hw.l3.size as f64 / (1024.0 * 1024.0)),
+        ("EPC per socket (GB)", hw.epc_per_socket as f64 / (1024.0 * 1024.0 * 1024.0)),
+        ("DRAM random latency (cycles)", hw.mem.dram_latency),
+        ("MEE fill latency (cycles)", hw.mem.mee_fill_latency),
+        ("Socket bandwidth (GB/s)", hw.freq_ghz / hw.mem.socket_bw_cycles_per_byte),
+        ("UPI bandwidth (GB/s)", hw.freq_ghz / hw.upi.upi_bw_cycles_per_byte),
+        ("Enclave transition (cycles)", hw.transitions.transition_cycles),
+    ];
+    let mut fig = Figure::new(
+        "table1",
+        format!("Simulated hardware: {}", hw.name).as_str(),
+        "parameter",
+        "value",
+    )
+    .with_xs(rows.iter().map(|(n, _)| *n));
+    fig.push_series("value", rows.iter().map(|&(_, v)| Some(Stat::exact(v))).collect());
+    fig.note("paper Table 1: dual-socket Xeon Gold 6326, 16 cores/socket @ 2.9 GHz, 64 GB EPC/socket");
+    fig
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_full_profile_matches_paper() {
+        let p = BenchProfile {
+            hw: sgx_sim::config::xeon_gold_6326(),
+            data_div: 1,
+            reps: 1,
+        };
+        let f = table1(&p);
+        let v = f.series_by_label("value").unwrap();
+        let get = |name: &str| {
+            let i = f.xs.iter().position(|x| x == name).unwrap();
+            v.points[i].unwrap().mean
+        };
+        assert_eq!(get("Sockets"), 2.0);
+        assert_eq!(get("Cores per socket"), 16.0);
+        assert_eq!(get("L1d per core (KB)"), 48.0);
+        assert_eq!(get("L3 per socket (MB)"), 24.0);
+        assert_eq!(get("EPC per socket (GB)"), 64.0);
+        assert!((get("UPI bandwidth (GB/s)") - 67.2).abs() < 0.01);
+    }
+}

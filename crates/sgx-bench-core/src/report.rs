@@ -1,0 +1,211 @@
+//! Figure/table data model and rendering.
+//!
+//! Every experiment harness produces a [`Figure`]: a set of labelled
+//! series over a common x-axis, mirroring the plots in the paper. Figures
+//! render as aligned text tables on stdout and serialize to JSON for
+//! downstream tooling (EXPERIMENTS.md is assembled from these).
+
+use serde::{Deserialize, Serialize};
+use std::fmt::Write as _;
+
+/// One measured point: mean and standard deviation over repetitions.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct Stat {
+    /// Arithmetic mean (the paper reports means over 10 runs).
+    pub mean: f64,
+    /// Standard deviation across repetitions.
+    pub stddev: f64,
+}
+
+impl Stat {
+    /// Aggregate repetitions into a `Stat`.
+    pub fn from_runs(runs: &[f64]) -> Stat {
+        let n = runs.len().max(1) as f64;
+        let mean = runs.iter().sum::<f64>() / n;
+        let var = runs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n;
+        Stat { mean, stddev: var.sqrt() }
+    }
+
+    /// A single deterministic observation.
+    pub fn exact(v: f64) -> Stat {
+        Stat { mean: v, stddev: 0.0 }
+    }
+}
+
+/// One labelled series (a bar group or plot line).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Series {
+    /// Legend label (e.g. "SGX (Data in Enclave)").
+    pub label: String,
+    /// One value per x-axis entry; `None` when not measured.
+    pub points: Vec<Option<Stat>>,
+}
+
+/// A reproduced figure or table.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Figure {
+    /// Identifier matching the paper ("fig05", "table1", …).
+    pub id: String,
+    /// Human-readable title.
+    pub title: String,
+    /// x-axis label.
+    pub x_label: String,
+    /// Unit of the y values ("M rows/s", "GB/s", "relative", …).
+    pub unit: String,
+    /// x-axis tick labels.
+    pub xs: Vec<String>,
+    /// The measured series.
+    pub series: Vec<Series>,
+    /// Free-form notes (model caveats, paper reference values).
+    pub notes: Vec<String>,
+}
+
+impl Figure {
+    /// Start an empty figure.
+    pub fn new(id: &str, title: &str, x_label: &str, unit: &str) -> Figure {
+        Figure {
+            id: id.to_string(),
+            title: title.to_string(),
+            x_label: x_label.to_string(),
+            unit: unit.to_string(),
+            xs: Vec::new(),
+            series: Vec::new(),
+            notes: Vec::new(),
+        }
+    }
+
+    /// Set the x-axis tick labels.
+    pub fn with_xs<S: ToString>(mut self, xs: impl IntoIterator<Item = S>) -> Figure {
+        self.xs = xs.into_iter().map(|x| x.to_string()).collect();
+        self
+    }
+
+    /// Append a series; its length must match the x-axis.
+    pub fn push_series(&mut self, label: &str, points: Vec<Option<Stat>>) {
+        assert_eq!(points.len(), self.xs.len(), "series length must match x axis");
+        self.series.push(Series { label: label.to_string(), points });
+    }
+
+    /// Append a note line.
+    pub fn note(&mut self, text: impl Into<String>) {
+        self.notes.push(text.into());
+    }
+
+    /// Render as an aligned text table.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "== {} — {} [{}]", self.id, self.title, self.unit);
+        let xw = self
+            .xs
+            .iter()
+            .map(|x| x.len())
+            .chain([self.x_label.len()])
+            .max()
+            .unwrap_or(8)
+            .max(4);
+        let cols: Vec<usize> =
+            self.series.iter().map(|s| s.label.len().max(12)).collect();
+        let _ = write!(out, "{:<xw$}", self.x_label);
+        for (s, w) in self.series.iter().zip(&cols) {
+            let _ = write!(out, "  {:>w$}", s.label);
+        }
+        let _ = writeln!(out);
+        for (i, x) in self.xs.iter().enumerate() {
+            let _ = write!(out, "{x:<xw$}");
+            for (s, w) in self.series.iter().zip(&cols) {
+                match s.points[i] {
+                    Some(st) if st.stddev > 0.0 => {
+                        let cell = format!("{:.3}±{:.3}", st.mean, st.stddev);
+                        let _ = write!(out, "  {cell:>w$}");
+                    }
+                    Some(st) => {
+                        let cell = format!("{:.3}", st.mean);
+                        let _ = write!(out, "  {cell:>w$}");
+                    }
+                    None => {
+                        let _ = write!(out, "  {:>w$}", "-");
+                    }
+                }
+            }
+            let _ = writeln!(out);
+        }
+        for n in &self.notes {
+            let _ = writeln!(out, "   note: {n}");
+        }
+        out
+    }
+
+    /// Serialize to pretty JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("figures are serializable")
+    }
+
+    /// Print the text table and write both the JSON and an SVG chart under
+    /// `target/figures/`.
+    pub fn emit(&self) {
+        println!("{}", self.render());
+        let dir = std::path::Path::new("target/figures");
+        if std::fs::create_dir_all(dir).is_ok() {
+            for (ext, content) in [("json", self.to_json()), ("svg", self.to_svg())] {
+                let path = dir.join(format!("{}.{ext}", self.id));
+                if let Err(e) = std::fs::write(&path, content) {
+                    eprintln!("warning: could not write {}: {e}", path.display());
+                } else {
+                    eprintln!("   {ext}: {}", path.display());
+                }
+            }
+        }
+    }
+
+    /// Look up a series by label (test helper).
+    pub fn series_by_label(&self, label: &str) -> Option<&Series> {
+        self.series.iter().find(|s| s.label == label)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stat_from_runs() {
+        let s = Stat::from_runs(&[2.0, 4.0, 6.0]);
+        assert!((s.mean - 4.0).abs() < 1e-12);
+        assert!((s.stddev - (8.0f64 / 3.0).sqrt()).abs() < 1e-12);
+        let e = Stat::exact(5.0);
+        assert_eq!(e.mean, 5.0);
+        assert_eq!(e.stddev, 0.0);
+    }
+
+    #[test]
+    fn figure_renders_all_cells() {
+        let mut f = Figure::new("figX", "demo", "size", "GB/s").with_xs(["1 MB", "1 GB"]);
+        f.push_series("native", vec![Some(Stat::exact(10.0)), Some(Stat::exact(5.0))]);
+        f.push_series("sgx", vec![Some(Stat::from_runs(&[9.0, 9.2])), None]);
+        f.note("model note");
+        let r = f.render();
+        assert!(r.contains("figX"));
+        assert!(r.contains("native"));
+        assert!(r.contains("10.000"));
+        assert!(r.contains("±"));
+        assert!(r.contains("model note"));
+        assert!(r.contains('-'));
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let mut f = Figure::new("fig1", "t", "x", "u").with_xs(["a"]);
+        f.push_series("s", vec![Some(Stat::exact(1.5))]);
+        let j = f.to_json();
+        let back: Figure = serde_json::from_str(&j).unwrap();
+        assert_eq!(back.id, "fig1");
+        assert_eq!(back.series[0].points[0].unwrap().mean, 1.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "length must match")]
+    fn mismatched_series_rejected() {
+        let mut f = Figure::new("f", "t", "x", "u").with_xs(["a", "b"]);
+        f.push_series("s", vec![Some(Stat::exact(1.0))]);
+    }
+}

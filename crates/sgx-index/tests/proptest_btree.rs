@@ -1,0 +1,91 @@
+//! Property tests: the B+-tree agrees with `std::collections::BTreeMap`
+//! on arbitrary key sets, including duplicates and adversarial patterns.
+
+use proptest::prelude::*;
+use sgx_index::{BPlusTree, IndexRow};
+use sgx_sim::config::scaled_profile;
+use sgx_sim::{Machine, Setting};
+use std::collections::BTreeMap;
+
+fn machine() -> Machine {
+    Machine::new(scaled_profile(), Setting::PlainCpu)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Point lookups return exactly the first payload of the key, for any
+    /// multiset of keys.
+    #[test]
+    fn get_matches_btreemap(mut keys in proptest::collection::vec(0u32..100_000, 0..2000)) {
+        keys.sort_unstable();
+        let rows: Vec<IndexRow> = keys
+            .iter()
+            .enumerate()
+            .map(|(i, &k)| IndexRow { key: k, payload: i as u32 })
+            .collect();
+        // Reference: first payload per key (rows are sorted, payloads are
+        // insertion positions, so the minimum payload is the first).
+        let mut reference: BTreeMap<u32, u32> = BTreeMap::new();
+        for r in &rows {
+            reference.entry(r.key).or_insert(r.payload);
+        }
+        let mut m = machine();
+        let tree = BPlusTree::bulk_load(&mut m, &rows);
+        m.run(|c| {
+            for probe in keys.iter().copied().chain([0, 1, 99_999, 54_321]) {
+                prop_assert_eq!(tree.get(c, probe), reference.get(&probe).copied(), "key {}", probe);
+            }
+            Ok(())
+        })?;
+    }
+
+    /// `for_each_match` visits exactly the duplicate run of the key, in
+    /// payload (insertion) order.
+    #[test]
+    fn duplicates_enumerate_in_order(
+        distinct in proptest::collection::vec(1u32..1000, 1..50),
+        dup_key in 1u32..1000,
+        dups in 1usize..40,
+    ) {
+        let mut keys: Vec<u32> = distinct;
+        keys.extend(std::iter::repeat_n(dup_key, dups));
+        keys.sort_unstable();
+        let rows: Vec<IndexRow> = keys
+            .iter()
+            .enumerate()
+            .map(|(i, &k)| IndexRow { key: k, payload: i as u32 })
+            .collect();
+        let expected: Vec<u32> =
+            rows.iter().filter(|r| r.key == dup_key).map(|r| r.payload).collect();
+        let mut m = machine();
+        let tree = BPlusTree::bulk_load(&mut m, &rows);
+        m.run(|c| {
+            let mut seen = Vec::new();
+            tree.for_each_match(c, dup_key, |p| {
+                seen.push(p);
+                true
+            });
+            prop_assert_eq!(seen, expected);
+            Ok(())
+        })?;
+    }
+
+    /// Early termination: stopping after k matches visits exactly k.
+    #[test]
+    fn early_stop_respected(dups in 1usize..30, stop_after in 1usize..30) {
+        let rows: Vec<IndexRow> =
+            (0..dups).map(|i| IndexRow { key: 7, payload: i as u32 }).collect();
+        let mut m = machine();
+        let tree = BPlusTree::bulk_load(&mut m, &rows);
+        m.run(|c| {
+            let mut seen = 0usize;
+            tree.for_each_match(c, 7, |_| {
+                seen += 1;
+                seen < stop_after
+            });
+            prop_assert_eq!(seen, dups.min(stop_after));
+            Ok(())
+        })?;
+    }
+}

@@ -1,0 +1,105 @@
+//! Independent random-write micro-benchmark (§4.1, Fig 5).
+//!
+//! The paper: "we designed a benchmark that writes 8 byte integers to
+//! random positions inside an array. The positions are determined using a
+//! linear congruential generator." The writes are independent of one
+//! another, so the store buffer and miss-handling overlap them — unlike
+//! the pointer chase — which is why the enclave penalty tops out near 3×
+//! instead of scaling with the full MEE latency.
+
+use sgx_sim::{HwConfig, Machine, Setting};
+
+/// Result of one random-write run.
+#[derive(Debug, Clone, Copy)]
+pub struct WriteResult {
+    /// Total simulated cycles.
+    pub cycles: f64,
+    /// Writes performed.
+    pub writes: u64,
+}
+
+impl WriteResult {
+    /// Average cycles per 8-byte write.
+    pub fn cycles_per_write(&self) -> f64 {
+        self.cycles / self.writes as f64
+    }
+}
+
+/// LCG used to generate write positions (same multiplier family as the
+/// paper's C implementation).
+#[inline]
+pub fn lcg_next(x: u64) -> u64 {
+    x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407)
+}
+
+/// Issue `writes` independent 8-byte stores to random slots of an array of
+/// `array_bytes`.
+pub fn random_write(
+    cfg: HwConfig,
+    setting: Setting,
+    array_bytes: usize,
+    writes: u64,
+    seed: u64,
+) -> WriteResult {
+    let n = (array_bytes / 8).max(1);
+    let mut machine = Machine::new(cfg, setting);
+    let mut v = machine.alloc::<u64>(n);
+    // Untimed warm-up pass (pmbw measures repeated runs): first-touch
+    // fills should not dominate the steady-state measurement. A bounded
+    // prefix suffices for arrays far beyond cache capacity.
+    let warmup = n.min(2_000_000);
+    machine.run(|c| {
+        let mut x = seed | 3;
+        for w in 0..warmup as u64 {
+            x = lcg_next(x);
+            v.set(c, (x >> 16) as usize % n, w);
+        }
+    });
+    machine.reset_wall();
+    machine.run(|c| {
+        let mut x = seed | 1;
+        for w in 0..writes {
+            x = lcg_next(x);
+            // Address computation: multiply-shift plus the loop counter.
+            c.compute(3);
+            v.set(c, (x >> 16) as usize % n, w);
+        }
+    });
+    WriteResult { cycles: machine.wall_cycles(), writes }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sgx_sim::config::scaled_profile;
+
+    #[test]
+    fn in_cache_writes_at_parity() {
+        let native = random_write(scaled_profile(), Setting::PlainCpu, 16 << 10, 100_000, 3);
+        let sgx = random_write(scaled_profile(), Setting::SgxDataInEnclave, 16 << 10, 100_000, 3);
+        let rel = sgx.cycles / native.cycles;
+        assert!(rel < 1.15, "in-cache writes should be near parity, got {rel:.2}");
+    }
+
+    #[test]
+    fn dram_writes_much_slower_in_enclave() {
+        let native = random_write(scaled_profile(), Setting::PlainCpu, 16 << 20, 100_000, 3);
+        let sgx = random_write(scaled_profile(), Setting::SgxDataInEnclave, 16 << 20, 100_000, 3);
+        let rel = sgx.cycles / native.cycles;
+        assert!(rel > 1.8, "random EPC writes should be ≥2x, got {rel:.2}");
+    }
+
+    #[test]
+    fn writes_cheaper_than_dependent_reads_per_op() {
+        // Independent stores overlap; dependent loads cannot.
+        let w = random_write(scaled_profile(), Setting::PlainCpu, 16 << 20, 50_000, 3);
+        let r = crate::pointer_chase::pointer_chase(
+            scaled_profile(),
+            Setting::PlainCpu,
+            16 << 20,
+            50_000,
+            3,
+        );
+        assert!(w.cycles_per_write() < r.cycles_per_step());
+    }
+}

@@ -1,0 +1,202 @@
+//! Calibration of the SGXv2 simulator against the paper's own
+//! micro-benchmark measurements.
+//!
+//! These tests are the load-bearing evidence for the whole reproduction:
+//! every higher-level figure (joins, scans, TPC-H) is a *prediction* of the
+//! model these bands pin down. Each test names the paper measurement it
+//! encodes. Bands are deliberately generous (the paper's numbers carry
+//! hardware noise and our substrate is a model), but tight enough that the
+//! qualitative claims cannot silently invert.
+//!
+//! All tests run on the full Table 1 profile (real cache sizes); array
+//! sizes are capped at 1 GB instead of the paper's 16 GB, which is already
+//! deep in the asymptotic DRAM regime (≫ 24 MB L3).
+
+use sgx_microbench::{
+    histogram_bench, increment_bench, pointer_chase, random_write, HistKernel,
+};
+use sgx_sim::config::xeon_gold_6326;
+use sgx_sim::Setting;
+
+const MB: usize = 1 << 20;
+
+/// §4.1 / Fig 5 (left): dependent random reads over a DRAM-sized array
+/// reach ≈53 % of native throughput ("At 16 GB array size, we measured 53%
+/// read throughput").
+#[test]
+fn random_read_relative_performance_matches_fig5() {
+    let native = pointer_chase(xeon_gold_6326(), Setting::PlainCpu, 1024 * MB, 200_000, 11);
+    let sgx = pointer_chase(xeon_gold_6326(), Setting::SgxDataInEnclave, 1024 * MB, 200_000, 11);
+    let rel = native.cycles / sgx.cycles;
+    assert!(
+        (0.45..=0.65).contains(&rel),
+        "paper: ~53% relative read throughput at large sizes; model: {:.1}%",
+        rel * 100.0
+    );
+}
+
+/// §4.1 / Fig 5 (right): independent random writes fall below 40 % of
+/// native ("nearly 3 times higher write latencies for the 8 GB array
+/// size").
+#[test]
+fn random_write_relative_performance_matches_fig5() {
+    let native = random_write(xeon_gold_6326(), Setting::PlainCpu, 1024 * MB, 1_000_000, 13);
+    let sgx = random_write(xeon_gold_6326(), Setting::SgxDataInEnclave, 1024 * MB, 1_000_000, 13);
+    let slowdown = sgx.cycles / native.cycles;
+    assert!(
+        (2.3..=3.8).contains(&slowdown),
+        "paper: ~3x slower random writes; model: {slowdown:.2}x"
+    );
+    assert!(
+        native.cycles / sgx.cycles < 0.45,
+        "paper: relative write performance below 40-45%"
+    );
+}
+
+/// §4.1 / Fig 5: cache-resident random access has no penalty in either
+/// direction ("In-cache, random access performance is equal").
+#[test]
+fn in_cache_random_access_is_at_parity() {
+    // 512 KB sits comfortably in the 1.25 MB L2.
+    let nr = pointer_chase(xeon_gold_6326(), Setting::PlainCpu, 512 << 10, 200_000, 17);
+    let sr = pointer_chase(xeon_gold_6326(), Setting::SgxDataInEnclave, 512 << 10, 200_000, 17);
+    let read_rel = nr.cycles / sr.cycles;
+    assert!(read_rel > 0.9, "in-cache reads should be ≥90% native, got {:.2}", read_rel);
+
+    let nw = random_write(xeon_gold_6326(), Setting::PlainCpu, 512 << 10, 500_000, 17);
+    let sw = random_write(xeon_gold_6326(), Setting::SgxDataInEnclave, 512 << 10, 500_000, 17);
+    let write_rel = nw.cycles / sw.cycles;
+    assert!(write_rel > 0.9, "in-cache writes should be ≥90% native, got {:.2}", write_rel);
+}
+
+/// §4.2 / Fig 7: the naive histogram loop is 225 % slower in enclave mode
+/// (i.e. ≈3.25× the native run time), for typical radix-bin counts.
+#[test]
+fn naive_histogram_slowdown_matches_fig7() {
+    for bins in [256usize, 4096, 32768] {
+        let native =
+            histogram_bench(xeon_gold_6326(), Setting::PlainCpu, 2_000_000, bins, HistKernel::Naive, 5);
+        let sgx = histogram_bench(
+            xeon_gold_6326(),
+            Setting::SgxDataInEnclave,
+            2_000_000,
+            bins,
+            HistKernel::Naive,
+            5,
+        );
+        let slowdown = sgx.cycles / native.cycles;
+        assert!(
+            (2.4..=4.2).contains(&slowdown),
+            "paper: ~3.25x naive histogram slowdown at {bins} bins; model: {slowdown:.2}x"
+        );
+    }
+}
+
+/// §4.2 / Fig 7: the slowdown is independent of data location — it is an
+/// execution-mode effect, not a memory-encryption effect ("Histogram
+/// creation is 225 % slower when the CPU is in enclave mode, independent of
+/// data location").
+#[test]
+fn histogram_slowdown_is_execution_mode_not_encryption() {
+    let inside = histogram_bench(
+        xeon_gold_6326(),
+        Setting::SgxDataInEnclave,
+        2_000_000,
+        4096,
+        HistKernel::Naive,
+        5,
+    );
+    let outside = histogram_bench(
+        xeon_gold_6326(),
+        Setting::SgxDataOutside,
+        2_000_000,
+        4096,
+        HistKernel::Naive,
+        5,
+    );
+    let ratio = inside.cycles / outside.cycles;
+    assert!(
+        (0.85..=1.15).contains(&ratio),
+        "both SGX settings should suffer alike; inside/outside = {ratio:.2}"
+    );
+}
+
+/// §4.2 / Fig 7: manual 8× unrolling with reordered increments brings the
+/// enclave histogram to within ~20 % of native; SIMD-width unrolling
+/// improves it further.
+#[test]
+fn unrolled_histogram_recovers_matches_fig7() {
+    let native =
+        histogram_bench(xeon_gold_6326(), Setting::PlainCpu, 2_000_000, 4096, HistKernel::Naive, 5);
+    let unrolled = histogram_bench(
+        xeon_gold_6326(),
+        Setting::SgxDataInEnclave,
+        2_000_000,
+        4096,
+        HistKernel::Unrolled8,
+        5,
+    );
+    let simd = histogram_bench(
+        xeon_gold_6326(),
+        Setting::SgxDataInEnclave,
+        2_000_000,
+        4096,
+        HistKernel::Simd32,
+        5,
+    );
+    let unrolled_over = unrolled.cycles / native.cycles;
+    assert!(
+        (1.0..=1.40).contains(&unrolled_over),
+        "paper: ~20% residual slowdown after unrolling; model: {:.1}%",
+        (unrolled_over - 1.0) * 100.0
+    );
+    assert!(
+        simd.cycles < unrolled.cycles,
+        "paper: SIMD unrolling decreased the difference further"
+    );
+}
+
+/// §4.2: "incrementing the values inside a cache-resident histogram alone
+/// is not the cause of the slowdown" — the increment-only loop runs at
+/// native speed inside the enclave.
+#[test]
+fn increment_only_loop_is_not_the_culprit() {
+    let native = increment_bench(xeon_gold_6326(), Setting::PlainCpu, 4096, 2_000_000, 23);
+    let sgx = increment_bench(xeon_gold_6326(), Setting::SgxDataInEnclave, 4096, 2_000_000, 23);
+    let slowdown = sgx / native;
+    assert!(
+        slowdown < 1.2,
+        "increment-only loop must be near parity (paper §4.2); model: {slowdown:.2}x"
+    );
+}
+
+/// GCC's unrolling pragma interleaves index computation and increments, so
+/// it does *not* recover the performance (§4.2). In the model this
+/// corresponds to a naive loop — assert that unrolling only pays off when
+/// the increments are actually batched behind the index computations.
+#[test]
+fn grouping_is_what_matters_not_iteration_count() {
+    let naive = histogram_bench(
+        xeon_gold_6326(),
+        Setting::SgxDataInEnclave,
+        2_000_000,
+        4096,
+        HistKernel::Naive,
+        5,
+    );
+    let unrolled = histogram_bench(
+        xeon_gold_6326(),
+        Setting::SgxDataInEnclave,
+        2_000_000,
+        4096,
+        HistKernel::Unrolled8,
+        5,
+    );
+    assert!(
+        naive.cycles > 2.0 * unrolled.cycles,
+        "batched increments must be >2x faster in-enclave: naive {} vs unrolled {}",
+        naive.cycles,
+        unrolled.cycles
+    );
+    assert_eq!(naive.histogram, unrolled.histogram, "same answer either way");
+}

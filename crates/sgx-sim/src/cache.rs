@@ -1,0 +1,325 @@
+//! Set-associative, write-back, write-allocate cache model with LRU
+//! replacement.
+//!
+//! The simulator keeps an inclusive three-level hierarchy (private L1d and
+//! L2 per core, shared L3 per socket). Only tags are stored — data lives in
+//! the `SimVec` backing buffers — so a cache access is a handful of array
+//! probes.
+
+use crate::config::{CacheConfig, CACHE_LINE};
+
+#[derive(Debug, Clone, Copy, Default)]
+struct Way {
+    /// Line address (byte address / 64); `u64::MAX` = invalid.
+    tag: u64,
+    /// LRU stamp: larger = more recently used.
+    lru: u64,
+    dirty: bool,
+    valid: bool,
+}
+
+/// One cache level.
+#[derive(Debug)]
+pub struct Cache {
+    ways: usize,
+    sets: usize,
+    slots: Vec<Way>,
+    stamp: u64,
+}
+
+/// What happened to a line evicted by an insert.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Evicted {
+    /// No line was displaced.
+    None,
+    /// A clean line was dropped.
+    Clean(u64),
+    /// A dirty line must be written back (line address).
+    Dirty(u64),
+}
+
+impl Cache {
+    /// Build a cache level from its configuration.
+    pub fn new(cfg: &CacheConfig) -> Cache {
+        let sets = cfg.sets();
+        Cache { ways: cfg.ways, sets, slots: vec![Way::default(); sets * cfg.ways], stamp: 0 }
+    }
+
+    #[inline]
+    fn set_of(&self, line: u64) -> usize {
+        (line as usize) % self.sets
+    }
+
+    /// Probe for `line`; on hit, refresh LRU and optionally mark dirty.
+    #[inline]
+    pub fn access(&mut self, line: u64, write: bool) -> bool {
+        let s = self.set_of(line) * self.ways;
+        self.stamp += 1;
+        for w in &mut self.slots[s..s + self.ways] {
+            if w.valid && w.tag == line {
+                w.lru = self.stamp;
+                w.dirty |= write;
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Probe without updating replacement state (used by tests/inspection).
+    pub fn contains(&self, line: u64) -> bool {
+        let s = self.set_of(line) * self.ways;
+        self.slots[s..s + self.ways].iter().any(|w| w.valid && w.tag == line)
+    }
+
+    /// Insert `line` (after a miss), evicting the LRU way if the set is
+    /// full. Returns what was displaced.
+    pub fn insert(&mut self, line: u64, dirty: bool) -> Evicted {
+        let s = self.set_of(line) * self.ways;
+        self.stamp += 1;
+        let stamp = self.stamp;
+        let set = &mut self.slots[s..s + self.ways];
+        // Reuse the line's own slot if it is somehow present already.
+        if let Some(w) = set.iter_mut().find(|w| w.valid && w.tag == line) {
+            w.lru = stamp;
+            w.dirty |= dirty;
+            return Evicted::None;
+        }
+        if let Some(w) = set.iter_mut().find(|w| !w.valid) {
+            *w = Way { tag: line, lru: stamp, dirty, valid: true };
+            return Evicted::None;
+        }
+        let victim = set
+            .iter_mut()
+            .min_by_key(|w| w.lru)
+            .expect("cache sets always have at least one way");
+        let evicted =
+            if victim.dirty { Evicted::Dirty(victim.tag) } else { Evicted::Clean(victim.tag) };
+        *victim = Way { tag: line, lru: stamp, dirty, valid: true };
+        evicted
+    }
+
+    /// Remove a line if present, reporting whether it was dirty.
+    pub fn invalidate(&mut self, line: u64) -> bool {
+        let s = self.set_of(line) * self.ways;
+        for w in &mut self.slots[s..s + self.ways] {
+            if w.valid && w.tag == line {
+                w.valid = false;
+                return w.dirty;
+            }
+        }
+        false
+    }
+
+    /// Number of currently valid lines (test helper).
+    pub fn occupancy(&self) -> usize {
+        self.slots.iter().filter(|w| w.valid).count()
+    }
+
+    /// Maximum number of lines the cache can hold.
+    pub fn capacity_lines(&self) -> usize {
+        self.sets * self.ways
+    }
+
+    /// Drop all contents (used between experiment repetitions).
+    pub fn flush(&mut self) {
+        for w in &mut self.slots {
+            w.valid = false;
+            w.dirty = false;
+        }
+    }
+}
+
+/// Per-core stream-prefetcher model: tracks up to `SLOTS` independent
+/// sequential streams; a DRAM fill that continues a tracked stream is
+/// considered prefetched (bandwidth-bound instead of latency-bound).
+#[derive(Debug)]
+pub struct StreamDetector {
+    last_lines: [u64; Self::SLOTS],
+    next: usize,
+}
+
+impl StreamDetector {
+    /// Hardware prefetchers track a limited number of streams; 16 covers
+    /// the per-core stream count of Ice Lake's L2 prefetcher.
+    pub const SLOTS: usize = 16;
+
+    /// Fresh detector with no streams.
+    pub fn new() -> Self {
+        StreamDetector { last_lines: [u64::MAX; Self::SLOTS], next: 0 }
+    }
+
+    /// Record a DRAM fill of `line`; returns true when the fill continues a
+    /// tracked stream (i.e. would have been prefetched). Both ascending and
+    /// descending streams are tracked — hardware prefetchers lock onto
+    /// either direction (CrkJoin's two-pointer partitioning relies on the
+    /// descending one).
+    pub fn observe(&mut self, line: u64) -> bool {
+        for l in &mut self.last_lines {
+            // Accept strides of up to two lines in either direction:
+            // prefetchers lock on even when the access skips a line.
+            if *l != u64::MAX && line != *l && line.abs_diff(*l) <= 2 {
+                *l = line;
+                return true;
+            }
+        }
+        self.last_lines[self.next] = line;
+        self.next = (self.next + 1) % Self::SLOTS;
+        false
+    }
+
+    /// Forget all streams (phase boundaries).
+    pub fn reset(&mut self) {
+        *self = StreamDetector::new();
+    }
+}
+
+impl Default for StreamDetector {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Convert a byte address to its cache-line address.
+#[inline]
+pub fn line_of(addr: u64) -> u64 {
+    addr / CACHE_LINE as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Cache {
+        // 2 sets x 2 ways.
+        Cache::new(&CacheConfig { size: 4 * CACHE_LINE, ways: 2, latency: 1.0 })
+    }
+
+    #[test]
+    fn hit_after_insert() {
+        let mut c = tiny();
+        assert!(!c.access(10, false));
+        c.insert(10, false);
+        assert!(c.access(10, false));
+    }
+
+    #[test]
+    fn lru_eviction_order() {
+        let mut c = tiny();
+        // Lines 0, 2, 4 map to set 0 (even lines).
+        c.insert(0, false);
+        c.insert(2, false);
+        c.access(0, false); // 0 now MRU, 2 is LRU
+        let ev = c.insert(4, false);
+        assert_eq!(ev, Evicted::Clean(2));
+        assert!(c.contains(0));
+        assert!(c.contains(4));
+        assert!(!c.contains(2));
+    }
+
+    #[test]
+    fn dirty_eviction_reported() {
+        let mut c = tiny();
+        c.insert(0, true);
+        c.insert(2, false);
+        c.access(2, false);
+        let ev = c.insert(4, false);
+        assert_eq!(ev, Evicted::Dirty(0));
+    }
+
+    #[test]
+    fn write_hit_marks_dirty() {
+        let mut c = tiny();
+        c.insert(0, false);
+        assert!(c.access(0, true));
+        c.insert(2, false);
+        c.access(2, false);
+        assert_eq!(c.insert(4, false), Evicted::Dirty(0));
+    }
+
+    #[test]
+    fn occupancy_never_exceeds_capacity() {
+        let mut c = tiny();
+        for line in 0..100 {
+            c.insert(line, line % 3 == 0);
+            assert!(c.occupancy() <= c.capacity_lines());
+        }
+        assert_eq!(c.occupancy(), c.capacity_lines());
+    }
+
+    #[test]
+    fn invalidate_reports_dirtiness() {
+        let mut c = tiny();
+        c.insert(0, true);
+        c.insert(1, false);
+        assert!(c.invalidate(0));
+        assert!(!c.invalidate(1));
+        assert!(!c.invalidate(99));
+        assert!(!c.contains(0));
+    }
+
+    #[test]
+    fn flush_empties_cache() {
+        let mut c = tiny();
+        c.insert(0, true);
+        c.insert(1, true);
+        c.flush();
+        assert_eq!(c.occupancy(), 0);
+        assert!(!c.contains(0));
+    }
+
+    #[test]
+    fn reinserting_present_line_does_not_evict() {
+        let mut c = tiny();
+        c.insert(0, false);
+        c.insert(2, false);
+        assert_eq!(c.insert(0, true), Evicted::None);
+        assert!(c.contains(2));
+    }
+
+    #[test]
+    fn stream_detector_tracks_sequential() {
+        let mut d = StreamDetector::new();
+        assert!(!d.observe(100));
+        assert!(d.observe(101));
+        assert!(d.observe(102));
+        assert!(d.observe(104)); // stride-2 tolerated
+        assert!(!d.observe(200)); // new stream
+        assert!(d.observe(201));
+        // Old stream still tracked.
+        assert!(d.observe(105));
+    }
+
+    #[test]
+    fn stream_detector_tracks_descending() {
+        let mut d = StreamDetector::new();
+        assert!(!d.observe(1000));
+        assert!(d.observe(999));
+        assert!(d.observe(998));
+        assert!(d.observe(996)); // stride-2 down
+    }
+
+    #[test]
+    fn stream_detector_capacity_bounded() {
+        let mut d = StreamDetector::new();
+        // Start more streams than slots; earliest stream gets evicted.
+        for s in 0..(StreamDetector::SLOTS as u64 + 4) {
+            assert!(!d.observe(s * 1000));
+        }
+        // Stream 0 was evicted, continuing it is a miss first.
+        assert!(!d.observe(1));
+    }
+
+    #[test]
+    fn random_accesses_not_streams() {
+        let mut d = StreamDetector::new();
+        let mut x: u64 = 12345;
+        let mut hits = 0;
+        for _ in 0..1000 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            if d.observe(x >> 20) {
+                hits += 1;
+            }
+        }
+        assert!(hits < 20, "random pattern detected as stream too often: {hits}");
+    }
+}

@@ -1,0 +1,123 @@
+//! Performance counters collected by the simulator.
+
+use serde::{Deserialize, Serialize};
+
+/// Event totals across the whole machine, analogous to the hardware PMU and
+/// sgx-perf counters the paper relies on. Tests and benches use these to
+/// verify *why* a result looks the way it does (e.g. that a slowdown really
+/// comes from EPC fills and not from extra instructions).
+#[derive(Debug, Default, Clone, Serialize, Deserialize)]
+pub struct Counters {
+    /// Charged load/RMW accesses.
+    pub loads: u64,
+    /// Charged store accesses.
+    pub stores: u64,
+    /// Hits in the (per-core) L1d.
+    pub l1_hits: u64,
+    /// Hits in the (per-core) L2.
+    pub l2_hits: u64,
+    /// Hits in the (shared, per-socket) L3.
+    pub l3_hits: u64,
+    /// Line fills from DRAM.
+    pub dram_fills: u64,
+    /// DRAM fills served by the stream prefetcher (bandwidth-bound).
+    pub prefetched_fills: u64,
+    /// DRAM fills that required MEE decryption (EPC data, enclave mode).
+    pub epc_fills: u64,
+    /// DRAM fills from a remote NUMA node (over UPI).
+    pub remote_fills: u64,
+    /// Dirty L3 lines written back to DRAM.
+    pub writebacks: u64,
+    /// Cache lines moved for explicit stream reads/writes.
+    pub stream_lines: u64,
+    /// Enclave transitions (ECALL/OCALL one-way crossings).
+    pub transitions: u64,
+    /// Futex sleep/wake pairs performed by the SDK mutex model.
+    pub futex_waits: u64,
+    /// EPC pages dynamically added via EDMM (EAUG + EACCEPT).
+    pub edmm_pages: u64,
+    /// SGXv1-style EPC page faults (EWB/ELDU round trips).
+    pub epc_page_faults: u64,
+    /// Issue groups closed in enclave mode.
+    pub enclave_groups: u64,
+    /// Second-level TLB misses (page walks).
+    pub tlb_misses: u64,
+    /// Scalar ALU operations charged via `Core::compute`.
+    pub alu_ops: u64,
+    /// 512-bit vector operations charged via `Core::vec_compute`.
+    pub vec_ops: u64,
+}
+
+impl Counters {
+    /// Total charged memory accesses.
+    pub fn accesses(&self) -> u64 {
+        self.loads + self.stores
+    }
+
+    /// Fraction of DRAM fills that were prefetched.
+    pub fn prefetch_ratio(&self) -> f64 {
+        if self.dram_fills == 0 {
+            0.0
+        } else {
+            self.prefetched_fills as f64 / self.dram_fills as f64
+        }
+    }
+
+    /// Formatted multi-line report (the `perf stat`-style dump examples
+    /// print after a run).
+    pub fn report(&self) -> String {
+        let mut out = String::new();
+        let rows: [(&str, u64); 15] = [
+            ("loads", self.loads),
+            ("stores", self.stores),
+            ("L1 hits", self.l1_hits),
+            ("L2 hits", self.l2_hits),
+            ("L3 hits", self.l3_hits),
+            ("DRAM fills", self.dram_fills),
+            ("  prefetched", self.prefetched_fills),
+            ("  EPC (MEE)", self.epc_fills),
+            ("  remote (UPI)", self.remote_fills),
+            ("writebacks", self.writebacks),
+            ("transitions", self.transitions),
+            ("EDMM pages", self.edmm_pages),
+            ("EPC page faults", self.epc_page_faults),
+            ("TLB misses", self.tlb_misses),
+            ("enclave issue groups", self.enclave_groups),
+        ];
+        for (name, v) in rows {
+            if v > 0 {
+                out.push_str(&format!("{name:<22} {v:>14}
+"));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accesses_sums_loads_and_stores() {
+        let c = Counters { loads: 3, stores: 4, ..Default::default() };
+        assert_eq!(c.accesses(), 7);
+    }
+
+    #[test]
+    fn report_lists_only_nonzero_counters() {
+        let c = Counters { loads: 5, epc_fills: 2, ..Default::default() };
+        let r = c.report();
+        assert!(r.contains("loads"));
+        assert!(r.contains("EPC (MEE)"));
+        assert!(!r.contains("transitions"));
+    }
+
+    #[test]
+    fn prefetch_ratio_handles_zero() {
+        let c = Counters::default();
+        assert_eq!(c.prefetch_ratio(), 0.0);
+        let c = Counters { dram_fills: 10, prefetched_fills: 5, ..Default::default() };
+        assert!((c.prefetch_ratio() - 0.5).abs() < 1e-12);
+    }
+}

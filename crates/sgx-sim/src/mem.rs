@@ -1,0 +1,256 @@
+//! Virtual address space, memory regions and the typed `SimVec` container.
+//!
+//! Every byte an operator touches lives in a [`Region`]: untrusted DRAM or
+//! the Enclave Page Cache (EPC), each pinned to a NUMA node. The region an
+//! access targets — together with the machine's [`ExecMode`] — determines
+//! which costs the memory model charges (MEE encryption, UPI/UCE crossing,
+//! EDMM page commits, SGXv1 paging).
+
+use crate::config::{CACHE_LINE, PAGE_SIZE};
+use serde::{Deserialize, Serialize};
+
+/// Whether the simulated CPU executes in enclave mode or natively.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ExecMode {
+    /// Normal (unprotected) execution.
+    Native,
+    /// Execution inside an SGX enclave (after EENTER).
+    Enclave,
+}
+
+/// Where data physically lives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Region {
+    /// Ordinary untrusted DRAM on the given NUMA node.
+    Untrusted(u8),
+    /// Encrypted EPC memory on the given NUMA node.
+    Epc(u8),
+}
+
+impl Region {
+    /// NUMA node the region's memory is attached to.
+    pub fn node(self) -> usize {
+        match self {
+            Region::Untrusted(n) | Region::Epc(n) => n as usize,
+        }
+    }
+
+    /// True for EPC regions (data encrypted at rest).
+    pub fn is_epc(self) -> bool {
+        matches!(self, Region::Epc(_))
+    }
+
+    /// Dense index used for allocator bookkeeping: `node * 2 + is_epc`.
+    pub(crate) fn index(self) -> usize {
+        self.node() * 2 + usize::from(self.is_epc())
+    }
+
+    pub(crate) fn from_index(i: usize) -> Region {
+        let node = (i / 2) as u8;
+        if i % 2 == 1 { Region::Epc(node) } else { Region::Untrusted(node) }
+    }
+
+    /// Base virtual address of the region (1 TiB apart, so a region is
+    /// recoverable from any address).
+    pub(crate) fn base(self) -> u64 {
+        ((self.index() as u64) + 1) << 40
+    }
+
+    /// Recover the region an address belongs to.
+    pub(crate) fn of_addr(addr: u64) -> Region {
+        Region::from_index(((addr >> 40) - 1) as usize)
+    }
+}
+
+/// The three benchmark settings of the paper (§3):
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Setting {
+    /// (1) Native code, data in untrusted memory; no protection, no cost.
+    PlainCpu,
+    /// (2) Enclave code, data stored inside the enclave (EPC).
+    SgxDataInEnclave,
+    /// (3) Enclave code, data in untrusted memory: isolates code-execution
+    /// effects from memory-encryption effects.
+    SgxDataOutside,
+}
+
+impl Setting {
+    /// Execution mode implied by the setting.
+    pub fn mode(self) -> ExecMode {
+        match self {
+            Setting::PlainCpu => ExecMode::Native,
+            _ => ExecMode::Enclave,
+        }
+    }
+
+    /// Default placement region for working data on `node`.
+    pub fn data_region(self, node: u8) -> Region {
+        match self {
+            Setting::SgxDataInEnclave => Region::Epc(node),
+            _ => Region::Untrusted(node),
+        }
+    }
+
+    /// Short label used in reports, mirroring the paper's legends.
+    pub fn label(self) -> &'static str {
+        match self {
+            Setting::PlainCpu => "Plain CPU",
+            Setting::SgxDataInEnclave => "SGX (Data in Enclave)",
+            Setting::SgxDataOutside => "SGX (Data outside Enclave)",
+        }
+    }
+
+    /// All three settings in the paper's presentation order.
+    pub fn all() -> [Setting; 3] {
+        [Setting::PlainCpu, Setting::SgxDataInEnclave, Setting::SgxDataOutside]
+    }
+}
+
+/// Bump allocator state for one region.
+#[derive(Debug, Default, Clone)]
+pub(crate) struct RegionAlloc {
+    /// Bytes handed out so far.
+    pub used: u64,
+}
+
+impl RegionAlloc {
+    /// Allocate `bytes` aligned to a cache line; returns region-relative
+    /// offset.
+    pub fn alloc(&mut self, bytes: u64) -> u64 {
+        let off = (self.used + (CACHE_LINE as u64 - 1)) & !(CACHE_LINE as u64 - 1);
+        self.used = off + bytes;
+        off
+    }
+}
+
+/// Round a byte count up to whole 4 KB pages.
+pub fn pages_for(bytes: u64) -> u64 {
+    bytes.div_ceil(PAGE_SIZE as u64)
+}
+
+/// A typed array living in simulated memory.
+///
+/// `SimVec` owns real backing storage (operators compute real results) and
+/// knows its simulated address, so charged accessors (`get`, `set`, `rmw`,
+/// `iter_stream`, …) drive the machine's cache/memory model while `peek` /
+/// `poke` bypass accounting for test setup and verification.
+pub struct SimVec<T> {
+    buf: Vec<T>,
+    base: u64,
+    region: Region,
+}
+
+impl<T: Copy + Default> SimVec<T> {
+    /// Internal constructor; use `Machine::alloc`.
+    pub(crate) fn new(len: usize, base: u64, region: Region) -> Self {
+        SimVec { buf: vec![T::default(); len], base, region }
+    }
+}
+
+impl<T: Copy> SimVec<T> {
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True when the vector holds no elements.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Size of the backing storage in bytes.
+    pub fn size_bytes(&self) -> usize {
+        self.buf.len() * std::mem::size_of::<T>()
+    }
+
+    /// Region this vector was allocated in.
+    pub fn region(&self) -> Region {
+        self.region
+    }
+
+    /// Simulated virtual address of element `i`.
+    #[inline]
+    pub fn addr(&self, i: usize) -> u64 {
+        self.base + (i * std::mem::size_of::<T>()) as u64
+    }
+
+    /// Uncharged read for setup/verification code.
+    #[inline]
+    pub fn peek(&self, i: usize) -> T {
+        self.buf[i]
+    }
+
+    /// Uncharged write for setup code.
+    #[inline]
+    pub fn poke(&mut self, i: usize, v: T) {
+        self.buf[i] = v;
+    }
+
+    /// Uncharged view of the backing storage.
+    pub fn as_slice(&self) -> &[T] {
+        &self.buf
+    }
+
+    /// Uncharged mutable view of the backing storage (setup only).
+    pub fn as_mut_slice(&mut self) -> &mut [T] {
+        &mut self.buf
+    }
+
+    pub(crate) fn elem_size() -> usize {
+        std::mem::size_of::<T>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn region_roundtrip() {
+        for i in 0..8 {
+            let r = Region::from_index(i);
+            assert_eq!(r.index(), i);
+            assert_eq!(Region::of_addr(r.base()), r);
+            assert_eq!(Region::of_addr(r.base() + 123_456_789), r);
+        }
+    }
+
+    #[test]
+    fn region_properties() {
+        assert!(Region::Epc(0).is_epc());
+        assert!(!Region::Untrusted(1).is_epc());
+        assert_eq!(Region::Epc(1).node(), 1);
+        assert_eq!(Region::Untrusted(0).node(), 0);
+    }
+
+    #[test]
+    fn settings_imply_modes_and_regions() {
+        assert_eq!(Setting::PlainCpu.mode(), ExecMode::Native);
+        assert_eq!(Setting::SgxDataInEnclave.mode(), ExecMode::Enclave);
+        assert_eq!(Setting::SgxDataOutside.mode(), ExecMode::Enclave);
+        assert_eq!(Setting::SgxDataInEnclave.data_region(1), Region::Epc(1));
+        assert_eq!(Setting::SgxDataOutside.data_region(0), Region::Untrusted(0));
+        assert_eq!(Setting::PlainCpu.data_region(0), Region::Untrusted(0));
+    }
+
+    #[test]
+    fn bump_allocator_aligns_and_never_overlaps() {
+        let mut a = RegionAlloc::default();
+        let x = a.alloc(10);
+        let y = a.alloc(100);
+        let z = a.alloc(1);
+        assert_eq!(x % CACHE_LINE as u64, 0);
+        assert_eq!(y % CACHE_LINE as u64, 0);
+        assert_eq!(z % CACHE_LINE as u64, 0);
+        assert!(x + 10 <= y);
+        assert!(y + 100 <= z);
+    }
+
+    #[test]
+    fn pages_for_rounds_up() {
+        assert_eq!(pages_for(0), 0);
+        assert_eq!(pages_for(1), 1);
+        assert_eq!(pages_for(4096), 1);
+        assert_eq!(pages_for(4097), 2);
+    }
+}

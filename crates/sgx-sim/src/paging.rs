@@ -1,0 +1,142 @@
+//! SGXv1-style EPC paging model (CLOCK replacement).
+//!
+//! SGXv2 removed the tiny-EPC bottleneck, so none of the paper's
+//! experiments page. This module exists for the reproduction's *ablation*
+//! extension: running the same joins against an SGXv1-sized EPC shows why
+//! CrkJoin's design made sense on the old hardware (cf. §7's discussion of
+//! TEEBench and CrkJoin).
+
+use crate::config::{PagingConfig, PAGE_SIZE};
+use std::collections::HashMap;
+
+/// Tracks which EPC pages are resident and charges EWB/ELDU round trips on
+/// faults, using the CLOCK (second-chance) policy like the Linux SGX
+/// driver.
+#[derive(Debug)]
+pub struct Pager {
+    capacity: usize,
+    fault_cycles: f64,
+    slots: Vec<(u64, bool)>,
+    map: HashMap<u64, usize>,
+    hand: usize,
+    faults: u64,
+}
+
+impl Pager {
+    /// Build a pager for the given paging configuration.
+    pub fn new(cfg: &PagingConfig) -> Pager {
+        let capacity = (cfg.resident_bytes / PAGE_SIZE).max(1);
+        Pager {
+            capacity,
+            fault_cycles: cfg.fault_cycles,
+            slots: Vec::with_capacity(capacity.min(1 << 20)),
+            map: HashMap::new(),
+            hand: 0,
+            faults: 0,
+        }
+    }
+
+    /// Number of resident pages.
+    pub fn resident(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Total faults so far.
+    pub fn faults(&self) -> u64 {
+        self.faults
+    }
+
+    /// Touch the page containing `addr`; returns the fault cost in cycles
+    /// (0.0 on a resident hit).
+    pub fn touch(&mut self, addr: u64) -> f64 {
+        let page = addr / PAGE_SIZE as u64;
+        if let Some(&slot) = self.map.get(&page) {
+            self.slots[slot].1 = true;
+            return 0.0;
+        }
+        self.faults += 1;
+        if self.slots.len() < self.capacity {
+            self.map.insert(page, self.slots.len());
+            self.slots.push((page, true));
+        } else {
+            // CLOCK: sweep until a slot with a clear reference bit appears.
+            loop {
+                let (victim, referenced) = self.slots[self.hand];
+                if referenced {
+                    self.slots[self.hand].1 = false;
+                    self.hand = (self.hand + 1) % self.capacity;
+                } else {
+                    self.map.remove(&victim);
+                    self.map.insert(page, self.hand);
+                    self.slots[self.hand] = (page, true);
+                    self.hand = (self.hand + 1) % self.capacity;
+                    break;
+                }
+            }
+        }
+        self.fault_cycles
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pager(pages: usize) -> Pager {
+        Pager::new(&PagingConfig { resident_bytes: pages * PAGE_SIZE, fault_cycles: 100.0 })
+    }
+
+    #[test]
+    fn first_touch_faults_then_hits() {
+        let mut p = pager(4);
+        assert_eq!(p.touch(0), 100.0);
+        assert_eq!(p.touch(8), 0.0); // same page
+        assert_eq!(p.touch(PAGE_SIZE as u64), 100.0);
+        assert_eq!(p.faults(), 2);
+    }
+
+    #[test]
+    fn working_set_within_capacity_never_refaults() {
+        let mut p = pager(8);
+        for round in 0..3 {
+            for i in 0..8u64 {
+                let cost = p.touch(i * PAGE_SIZE as u64);
+                if round > 0 {
+                    assert_eq!(cost, 0.0, "refault of page {i} in round {round}");
+                }
+            }
+        }
+        assert_eq!(p.faults(), 8);
+        assert_eq!(p.resident(), 8);
+    }
+
+    #[test]
+    fn oversubscription_thrashes() {
+        let mut p = pager(4);
+        // Cyclic sweep over 8 pages with 4 slots: CLOCK degenerates to
+        // FIFO and every touch faults.
+        for _ in 0..4 {
+            for i in 0..8u64 {
+                p.touch(i * PAGE_SIZE as u64);
+            }
+        }
+        assert!(p.faults() >= 28, "expected thrashing, got {} faults", p.faults());
+        assert_eq!(p.resident(), 4);
+    }
+
+    #[test]
+    fn clock_gives_second_chance() {
+        let mut p = pager(2);
+        let page = |i: u64| i * PAGE_SIZE as u64;
+        p.touch(page(0));
+        p.touch(page(1));
+        // Fault on page 2: the sweep clears both reference bits and evicts
+        // page 0 (FIFO order when everything is referenced). Page 2 enters
+        // with its bit set while page 1's bit stays cleared.
+        p.touch(page(2));
+        // Fault on page 3: the hand finds page 1 unreferenced and evicts
+        // it, giving the freshly referenced page 2 its second chance.
+        p.touch(page(3));
+        assert_eq!(p.touch(page(2)), 0.0, "referenced page 2 should have survived");
+    }
+}

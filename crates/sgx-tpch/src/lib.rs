@@ -1,0 +1,22 @@
+//! # sgx-tpch — TPC-H subset generator and materializing query engine
+//!
+//! Implements §6 of the paper: TPC-H queries Q3, Q10, Q12 and Q19 as
+//! scan/join/count plans with full operator materialization ("as in
+//! MonetDB"), over an integer-encoded TPC-H subset generated at an
+//! arbitrary scale factor. The joins are the RHO implementations from
+//! `sgx-joins`, so the §4.2 optimization can be toggled per query — the
+//! experiment behind Fig 17.
+
+#![warn(missing_docs)]
+
+pub mod aggregate;
+pub mod gen;
+pub mod ops;
+pub mod queries;
+
+pub use aggregate::{group_count, reference_group_count, GroupCounts};
+pub use gen::{date, generate, TpchDb};
+pub use queries::{
+    q1_pricing_summary, q6_forecast_revenue, reference_count, run_query, Query, QueryConfig,
+    QueryStats,
+};

@@ -1,0 +1,73 @@
+//! Enclave capacity planning: how should a cloud DBMS size its enclave?
+//!
+//! §4.4 of the paper shows two software decisions that can silently cost an
+//! order of magnitude inside SGXv2: relying on EDMM to grow the enclave
+//! during query execution (Fig 11), and synchronizing threads with the SDK
+//! mutex (Fig 10). This example quantifies both for a materializing join
+//! so an operator can see exactly what static pre-allocation and lock-free
+//! task distribution buy.
+//!
+//! ```sh
+//! cargo run --release --example enclave_sizing
+//! ```
+
+use sgx_bench_core::prelude::*;
+use sgx_bench_core::sgx_joins::rho::rho_join;
+
+fn materializing_join(hw: &HwConfig, seal_before_query: bool) -> (f64, u64) {
+    let mut machine = Machine::new(hw.clone(), Setting::SgxDataInEnclave);
+    let (nr, ns) = (819_200, 3_276_800);
+    let r = gen_pk_relation(&mut machine, nr, 21);
+    let s = gen_fk_relation(&mut machine, ns, nr, 22);
+    if seal_before_query {
+        // Enclave sized for the inputs only: every page the query
+        // allocates afterwards is EAUG'd on first touch.
+        machine.seal_enclave();
+    }
+    let cfg = JoinConfig::new(16)
+        .with_radix_bits(JoinConfig::auto_radix_bits(r.size_bytes(), hw.l2.size))
+        .with_optimization(true)
+        .with_materialization(true);
+    let stats = rho_join(&mut machine, &r, &s, &cfg);
+    (stats.mrows_per_sec(nr, ns, hw.freq_ghz), machine.counters().edmm_pages)
+}
+
+fn queue_choice(hw: &HwConfig, queue: QueueKind) -> f64 {
+    let mut machine = Machine::new(hw.clone(), Setting::SgxDataInEnclave);
+    let (nr, ns) = (819_200, 3_276_800);
+    let r = gen_pk_relation(&mut machine, nr, 23);
+    let s = gen_fk_relation(&mut machine, ns, nr, 24);
+    // Deep partitioning = tiny tasks = queue contention.
+    let bits = (JoinConfig::auto_radix_bits(r.size_bytes(), hw.l2.size) + 5).min(16);
+    let cfg = JoinConfig::new(16).with_radix_bits(bits).with_queue(queue);
+    rho_join(&mut machine, &r, &s, &cfg).mrows_per_sec(nr, ns, hw.freq_ghz)
+}
+
+fn main() {
+    let hw = config::scaled_profile();
+    println!("machine: {}\n", hw.name);
+
+    println!("decision 1 — enclave sizing for a materializing 100 MB ⋈ 400 MB join:");
+    let (static_tput, _) = materializing_join(&hw, false);
+    let (dyn_tput, pages) = materializing_join(&hw, true);
+    println!("  statically pre-allocated enclave : {static_tput:>8.1} M rows/s");
+    println!(
+        "  grown on demand via EDMM         : {dyn_tput:>8.1} M rows/s  ({pages} pages EAUG'd)"
+    );
+    println!(
+        "  → dynamic growth retains {:.1}% of the static throughput; size the\n    enclave for query working sets up front (paper Fig 11: ~4.5%).\n",
+        dyn_tput / static_tput * 100.0
+    );
+
+    println!("decision 2 — task-queue synchronization under contention:");
+    let lockfree = queue_choice(&hw, QueueKind::LockFree);
+    let spin = queue_choice(&hw, QueueKind::SpinLock);
+    let mutex = queue_choice(&hw, QueueKind::SdkMutex);
+    println!("  lock-free queue : {lockfree:>8.1} M rows/s");
+    println!("  spinlock queue  : {spin:>8.1} M rows/s");
+    println!("  SDK mutex queue : {mutex:>8.1} M rows/s");
+    println!(
+        "  → the SDK mutex sleeps threads outside the enclave (2 transitions per\n    contended acquire) and keeps only {:.0}% of the lock-free throughput\n    (paper Fig 10: a 75% drop).",
+        mutex / lockfree * 100.0
+    );
+}

@@ -1,0 +1,86 @@
+//! Secure-join advisor: the paper's §4 findings as a practical tool.
+//!
+//! Given a join workload (table sizes, thread budget), this example runs
+//! all five join algorithms inside the simulated enclave — with and
+//! without the §4.2 unroll-and-reorder optimization — and recommends the
+//! configuration a secure OLAP engine should deploy, quantifying how much
+//! of native performance it retains.
+//!
+//! ```sh
+//! cargo run --release --example secure_join_advisor
+//! ```
+
+use sgx_bench_core::prelude::*;
+use sgx_bench_core::sgx_joins::{
+    cht::cht_join, crkjoin::crk_join, inl::inl_join, mway::mway_join, pht::pht_join,
+    rho::rho_join,
+};
+
+/// The workload under consideration: a fact-to-dimension FK join.
+struct Workload {
+    name: &'static str,
+    build_rows: usize,
+    probe_rows: usize,
+    threads: usize,
+}
+
+fn run(
+    hw: &HwConfig,
+    setting: Setting,
+    algo: &str,
+    w: &Workload,
+    optimized: bool,
+) -> f64 {
+    let mut machine = Machine::new(hw.clone(), setting);
+    let mut r = gen_pk_relation(&mut machine, w.build_rows, 11);
+    let mut s = gen_fk_relation(&mut machine, w.probe_rows, w.build_rows, 12);
+    let bits = JoinConfig::auto_radix_bits(r.size_bytes(), hw.l2.size);
+    let cfg = JoinConfig::new(w.threads)
+        .with_radix_bits(if algo == "CrkJoin" { (bits + 4).min(16) } else { bits })
+        .with_optimization(optimized);
+    let stats = match algo {
+        "RHO" => rho_join(&mut machine, &r, &s, &cfg),
+        "PHT" => pht_join(&mut machine, &r, &s, &cfg),
+        "CHT" => cht_join(&mut machine, &r, &s, &cfg),
+        "MWAY" => mway_join(&mut machine, &r, &s, &cfg),
+        "INL" => inl_join(&mut machine, &r, &s, &cfg),
+        "CrkJoin" => crk_join(&mut machine, &mut r, &mut s, &cfg),
+        _ => unreachable!(),
+    };
+    assert_eq!(stats.matches, w.probe_rows as u64);
+    stats.mrows_per_sec(w.build_rows, w.probe_rows, hw.freq_ghz)
+}
+
+fn main() {
+    let hw = config::scaled_profile();
+    let workloads = [
+        Workload { name: "dimension⋈fact (1:4)", build_rows: 819_200, probe_rows: 3_276_800, threads: 16 },
+        Workload { name: "small dim (cache-resident)", build_rows: 16_384, probe_rows: 3_276_800, threads: 16 },
+    ];
+
+    for w in &workloads {
+        println!("workload: {} ({} ⋈ {} rows, {} threads)", w.name, w.build_rows, w.probe_rows, w.threads);
+        println!("{:<10} {:>14} {:>14} {:>14} {:>10}", "join", "native M/s", "SGX M/s", "SGX+opt M/s", "retained");
+        let mut best: Option<(&str, f64)> = None;
+        for algo in ["RHO", "PHT", "CHT", "MWAY", "INL", "CrkJoin"] {
+            let native = run(&hw, Setting::PlainCpu, algo, w, false);
+            let sgx = run(&hw, Setting::SgxDataInEnclave, algo, w, false);
+            let sgx_opt = run(&hw, Setting::SgxDataInEnclave, algo, w, true);
+            let retained = sgx_opt / native;
+            println!(
+                "{algo:<10} {native:>14.1} {sgx:>14.1} {sgx_opt:>14.1} {:>9.0}%",
+                retained * 100.0
+            );
+            if best.is_none_or(|(_, b)| sgx_opt > b) {
+                best = Some((algo, sgx_opt));
+            }
+        }
+        let (algo, tput) = best.expect("at least one algorithm ran");
+        println!(
+            "→ recommendation: {algo} with the unroll-and-reorder optimization \
+             ({tput:.0} M rows/s inside the enclave)\n"
+        );
+    }
+    println!("(Matches the paper's conclusion: cache-optimized radix joins plus the");
+    println!(" §4.2 optimization; SGXv1-era designs like CrkJoin no longer pay off.)");
+}

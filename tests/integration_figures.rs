@@ -1,0 +1,327 @@
+//! End-to-end figure regeneration at a tiny profile: every figure runs,
+//! and the *qualitative shapes* the paper reports hold (who wins, bar
+//! orderings, where crossovers fall). These are the reproduction's
+//! headline assertions.
+
+use sgx_bench_core::experiments as ex;
+use sgx_bench_core::sgx_sim::config::xeon_gold_6326;
+use sgx_bench_core::{BenchProfile, Figure};
+
+fn tiny() -> BenchProfile {
+    BenchProfile { hw: xeon_gold_6326().scaled(256), data_div: 256, reps: 1 }
+}
+
+/// Mean of series `s` at x-position `i`.
+fn v(f: &Figure, s: &str, i: usize) -> f64 {
+    f.series_by_label(s)
+        .unwrap_or_else(|| panic!("series {s} in {}", f.id))
+        .points[i]
+        .expect("point measured")
+        .mean
+}
+
+#[test]
+fn fig01_shape_sgxv1_design_loses_optimization_recovers() {
+    let f = ex::fig01_intro(&tiny());
+    // x: [CrkJoin, RHO, RHO optimized, RHO native]
+    let crk = v(&f, "throughput", 0);
+    let rho = v(&f, "throughput", 1);
+    let rho_opt = v(&f, "throughput", 2);
+    let native = v(&f, "throughput", 3);
+    assert!(crk < rho, "SGXv1-optimized join must lose to RHO: {crk} vs {rho}");
+    assert!(rho < rho_opt, "optimization must help: {rho} vs {rho_opt}");
+    assert!(rho_opt > 0.75 * native, "optimized RHO approaches native: {rho_opt} vs {native}");
+}
+
+#[test]
+fn fig03_shape_crkjoin_slowest_hash_joins_hit_hardest() {
+    let f = ex::fig03_overview(&tiny());
+    // x: [CrkJoin, PHT, RHO, MWAY, INL]
+    let sgx = |i| v(&f, "SGX (Data in Enclave)", i);
+    let native = |i| v(&f, "Plain CPU", i);
+    for i in 1..5 {
+        assert!(sgx(i) > sgx(0), "CrkJoin must be the slowest enclave join (bar {i})");
+    }
+    assert!(sgx(2) > 4.0 * sgx(0), "RHO should be several times CrkJoin");
+    // Hash joins (PHT, RHO) lose relatively more than MWAY/INL.
+    let red = |i: usize| sgx(i) / native(i);
+    assert!(red(1) < red(3) && red(1) < red(4), "PHT reduction largest");
+    assert!(red(2) < red(3), "RHO reduction larger than MWAY");
+}
+
+#[test]
+fn fig04_shape_random_access_grows_with_table_build_worst() {
+    let (left, right) = ex::fig04_pht(&tiny());
+    let rel = |i| v(&left, "SGX / plain CPU", i);
+    // At 1/256 scale the 1 MB point is only partially cache-resident (the
+    // L1 hits its clamp floor), so the parity bound is looser than the
+    // paper's 95%; the full profile reproduces it (see EXPERIMENTS.md).
+    assert!(rel(0) > 0.6, "smallest build closest to parity, got {}", rel(0));
+    assert!(rel(3) < 0.7, "100 MB build well below native, got {}", rel(3));
+    assert!(rel(3) < rel(0), "relative performance must fall with table size");
+    let build_slow = v(&right, "SGX (Data in Enclave)", 0) / v(&right, "Plain CPU", 0);
+    let probe_slow = v(&right, "SGX (Data in Enclave)", 1) / v(&right, "Plain CPU", 1);
+    assert!(build_slow > probe_slow, "build suffers more: {build_slow:.2} vs {probe_slow:.2}");
+}
+
+#[test]
+fn fig05_shape_cache_parity_then_reads_53_writes_worse() {
+    let f = ex::fig05_random_access(&tiny());
+    let reads = |i| v(&f, "random reads (pointer chase)", i);
+    let writes = |i| v(&f, "random writes (LCG)", i);
+    assert!(reads(0) > 0.9 && writes(0) > 0.9, "in-cache parity");
+    let last = f.xs.len() - 1;
+    assert!((0.4..0.7).contains(&reads(last)), "reads bottom near 53%, got {}", reads(last));
+    assert!(writes(last) < 0.45, "writes below 40-45%, got {}", writes(last));
+    assert!(writes(last) < reads(last), "writes hit harder than reads");
+}
+
+#[test]
+fn fig06_shape_histogram_phases_dominate_and_unrolling_repairs() {
+    let f = ex::fig06_rho_breakdown(&tiny());
+    // Histogram phases blow up in the enclave …
+    let hist_slow = v(&f, "SGX naive", 0) / v(&f, "Plain CPU", 0);
+    assert!(hist_slow > 2.0, "naive histogram phase slowdown {hist_slow:.2}");
+    // … and the optimization repairs hist and copy substantially.
+    for i in 0..4 {
+        let naive = v(&f, "SGX naive", i);
+        let opt = v(&f, "SGX optimized", i);
+        assert!(opt < naive, "phase {i} should improve with unrolling");
+    }
+}
+
+#[test]
+fn fig07_shape_225_percent_then_20_percent() {
+    let f = ex::fig07_histogram(&tiny());
+    for i in 0..f.xs.len() {
+        let native = v(&f, "Plain CPU", i);
+        let inside = v(&f, "SGX Data in Enclave", i);
+        let outside = v(&f, "SGX Data outside Enclave", i);
+        let unrolled = v(&f, "SGX unrolled x8", i);
+        let simd = v(&f, "SGX SIMD x32", i);
+        assert!(inside > 2.0 * native, "bin {i}: naive collapse");
+        let loc = inside / outside;
+        assert!((0.8..1.25).contains(&loc), "bin {i}: data location irrelevant, got {loc:.2}");
+        assert!(unrolled < 1.45 * native, "bin {i}: unrolled within tens of %");
+        assert!(simd <= unrolled * 1.05, "bin {i}: SIMD at least as good");
+    }
+}
+
+#[test]
+fn fig08_shape_optimization_helps_both_rho_ahead() {
+    let f = ex::fig08_optimized(&tiny());
+    for i in 0..2 {
+        assert!(v(&f, "SGX optimized", i) > v(&f, "SGX naive", i), "bar {i} improves");
+    }
+    let rho_opt_rel = v(&f, "SGX optimized", 0) / v(&f, "Plain CPU", 0);
+    let pht_opt_rel = v(&f, "SGX optimized", 1) / v(&f, "Plain CPU", 1);
+    assert!(rho_opt_rel > 0.7, "optimized RHO near native, got {rho_opt_rel:.2}");
+    assert!(rho_opt_rel > pht_opt_rel, "PHT stays random-access-bound");
+    assert!(
+        v(&f, "SGX optimized", 0) > v(&f, "SGX optimized", 1),
+        "RHO ahead of PHT inside the enclave"
+    );
+}
+
+#[test]
+fn fig09_shape_numa_misplacement_wastes_cores() {
+    let f = ex::fig09_numa_join(&tiny());
+    let t = |i| v(&f, "throughput", i);
+    // x: [single node, fully remote, half local, native NUMA local]
+    assert!(t(1) < 0.92 * t(0), "fully remote clearly slower than single-node");
+    // Paper: adding the remote socket's 16 cores does not help at all (the
+    // data socket's bandwidth binds). Our scaled model is core-bound, so a
+    // partial gain remains — but far below the 2x the cores would suggest.
+    assert!(t(2) < 1.7 * t(0), "half the added cores are wasted");
+    assert!(t(3) > 1.6 * t(0), "NUMA-local optimum near 2x");
+    assert!(t(1) < 0.5 * t(3) && t(2) < 0.7 * t(3), "both extremes far from optimal");
+}
+
+#[test]
+fn fig10_shape_mutex_collapse_only_in_enclave() {
+    let f = ex::fig10_queues(&tiny());
+    // x: [lock-free, SDK mutex]
+    let native_gap = v(&f, "Plain CPU", 1) / v(&f, "Plain CPU", 0);
+    let sgx_gap = v(&f, "SGX (Data in Enclave)", 1) / v(&f, "SGX (Data in Enclave)", 0);
+    assert!(native_gap > 0.8, "outside the enclave the queue barely matters, got {native_gap:.2}");
+    assert!(sgx_gap < 0.5, "inside, the SDK mutex collapses throughput, got {sgx_gap:.2}");
+}
+
+#[test]
+fn fig11_shape_edmm_decimates_throughput() {
+    let f = ex::fig11_edmm(&tiny());
+    let stat = v(&f, "SGX (Data in Enclave)", 0);
+    let dynamic = v(&f, "SGX (Data in Enclave)", 1);
+    let rel = dynamic / stat;
+    assert!(rel < 0.25, "dynamic enclave growth should lose ~95% (paper 4.5%), got {rel:.2}");
+}
+
+#[test]
+fn fig12_shape_scans_near_native_everywhere() {
+    let f = ex::fig12_scan_single(&tiny());
+    let last = f.xs.len() - 1;
+    // In cache: all three settings equal and faster than DRAM.
+    for s in ["SGX (Data in Enclave)", "SGX (Data outside Enclave)"] {
+        let rel0 = v(&f, s, 0) / v(&f, "Plain CPU", 0);
+        assert!(rel0 > 0.97, "{s} in-cache parity, got {rel0:.3}");
+        let rel_dram = v(&f, s, last) / v(&f, "Plain CPU", last);
+        assert!(rel_dram > 0.9, "{s} out-of-cache within ~3-10%, got {rel_dram:.3}");
+    }
+    assert!(v(&f, "Plain CPU", 0) > v(&f, "Plain CPU", last), "cache faster than DRAM");
+}
+
+#[test]
+fn fig13_shape_scaling_identical_and_saturating() {
+    let f = ex::fig13_scan_scaling(&tiny());
+    let last = f.xs.len() - 1;
+    let native = |i| v(&f, "Plain CPU", i);
+    let sgx = |i| v(&f, "SGX (Data in Enclave)", i);
+    assert!(native(2) > 3.0 * native(0), "early scaling near-linear");
+    assert!(native(last) < 16.0 * native(0) * 0.9, "saturates at the BW cap");
+    for i in 0..=last {
+        let rel = sgx(i) / native(i);
+        assert!(rel > 0.9, "thread point {i}: enclave scaling equal, got {rel:.3}");
+    }
+}
+
+#[test]
+fn fig14_shape_write_rate_hits_both_settings_equally() {
+    let f = ex::fig14_selectivity(&tiny());
+    let last = f.xs.len() - 1;
+    let native = |i| v(&f, "Plain CPU", i);
+    let sgx = |i| v(&f, "SGX (Data in Enclave)", i);
+    assert!(native(last) < native(0), "write volume lowers read throughput");
+    let gap0 = sgx(0) / native(0);
+    let gap_last = sgx(last) / native(last);
+    assert!(
+        gap_last > gap0 - 0.05,
+        "the enclave gap must not widen with write rate: {gap0:.3} -> {gap_last:.3}"
+    );
+}
+
+#[test]
+fn fig15_shape_single_digit_overheads_reads_worst() {
+    let f = ex::fig15_linear(&tiny());
+    let last = f.xs.len() - 1;
+    for s in ["64-bit read", "512-bit read", "64-bit write", "512-bit write"] {
+        let rel = v(&f, s, last);
+        assert!(rel > 0.90, "{s}: overhead stays single-digit, got {rel:.3}");
+        let in_cache = v(&f, s, 0);
+        assert!(in_cache > 0.97, "{s}: in-cache parity, got {in_cache:.3}");
+    }
+    assert!(
+        v(&f, "64-bit read", last) <= v(&f, "512-bit write", last),
+        "narrow reads suffer most"
+    );
+}
+
+#[test]
+fn fig16_shape_uce_gap_shrinks_as_upi_saturates() {
+    let f = ex::fig16_numa_scan(&tiny());
+    let last = f.xs.len() - 1;
+    let local = |i| v(&f, "local, plain CPU", i);
+    let cross = |i| v(&f, "cross-NUMA, plain CPU", i);
+    let sgx = |i| v(&f, "cross-NUMA, SGX", i);
+    assert!(cross(last) < local(last), "UPI slower than local DRAM");
+    let gap1 = sgx(0) / cross(0);
+    let gap16 = sgx(last) / cross(last);
+    assert!(gap1 < 0.9, "single-thread UCE tax visible, got {gap1:.2}");
+    assert!(gap16 > 0.93, "UCE hidden at saturation, got {gap16:.2}");
+    assert!(gap16 > gap1, "relative performance improves with threads");
+}
+
+#[test]
+fn fig17_shape_optimization_closes_most_of_the_query_gap() {
+    let f = ex::fig17_tpch(&tiny());
+    let mut native_total = 0.0;
+    let mut naive_total = 0.0;
+    let mut opt_total = 0.0;
+    for i in 0..f.xs.len() {
+        let native = v(&f, "Plain CPU", i);
+        let naive = v(&f, "SGX naive", i);
+        let opt = v(&f, "SGX optimized", i);
+        assert!(naive > native, "query {i}: enclave costs more");
+        assert!(opt <= naive, "query {i}: optimization never hurts");
+        native_total += native;
+        naive_total += naive;
+        opt_total += opt;
+    }
+    let gap_naive = naive_total / native_total - 1.0;
+    let gap_opt = opt_total / native_total - 1.0;
+    assert!(gap_opt < gap_naive, "optimization reduces the average gap");
+    assert!(gap_opt < 0.5, "optimized queries near native (paper: 15%), got {gap_opt:.2}");
+}
+
+#[test]
+fn ablation_sgxv1_ordering_flips() {
+    let f = ex::sgxv1_ablation(&tiny());
+    // x: [RHO, CrkJoin]
+    let v2_rho = v(&f, "SGXv2 EPC (large)", 0);
+    let v2_crk = v(&f, "SGXv2 EPC (large)", 1);
+    let v1_rho = v(&f, "SGXv1 EPC (small, paging)", 0);
+    let v1_crk = v(&f, "SGXv1 EPC (small, paging)", 1);
+    assert!(v2_rho > v2_crk, "on SGXv2, RHO wins");
+    assert!(v1_crk > v1_rho, "on SGXv1, CrkJoin wins");
+}
+
+#[test]
+fn ext_skew_shape_two_competing_effects() {
+    let f = ex::ext_skew(&tiny());
+    let last = f.xs.len() - 1;
+    // Moderate skew (theta <= 0.75) is harmless in both modes: hot keys
+    // concentrate probes on cached buckets.
+    for s in ["Plain CPU", "SGX (Data in Enclave)"] {
+        for i in 0..last {
+            assert!(
+                v(&f, s, i) >= 0.93 * v(&f, s, 0),
+                "{s}: moderate skew should degrade gracefully at point {i}"
+            );
+        }
+    }
+    // Under the MEE, the hot-bucket caching win dominates even at heavy
+    // skew: fewer EPC fills per probe.
+    let sgx = |i| v(&f, "SGX (Data in Enclave)", i);
+    assert!(sgx(last) >= sgx(0), "SGX: heavy skew should not lose to uniform");
+}
+
+#[test]
+fn ext_aggregation_shape_section_4_2_applies_to_group_by() {
+    let f = ex::ext_aggregation(&tiny());
+    for i in 0..f.xs.len() {
+        let native = v(&f, "Plain CPU", i);
+        let naive = v(&f, "SGX naive", i);
+        let opt = v(&f, "SGX optimized", i);
+        assert!(naive < 0.5 * native, "groups {i}: naive group-by collapses in enclave");
+        assert!(opt > 1.5 * naive, "groups {i}: unrolling recovers group-by");
+    }
+}
+
+#[test]
+fn ext_dual_socket_shape_striping_doubles_bandwidth() {
+    let f = ex::ext_dual_socket_scan(&tiny());
+    let single = v(&f, "throughput", 0);
+    let striped = v(&f, "throughput", 1);
+    let lopsided = v(&f, "throughput", 2);
+    assert!(striped > 1.7 * single, "striped EPC should approach 2x: {striped} vs {single}");
+    assert!(lopsided < striped, "misplaced allocations lose to NUMA-aware striping");
+}
+
+#[test]
+fn ext_packed_shape_narrow_widths_scan_more_values() {
+    let f = ex::ext_packed_scan(&tiny());
+    // x: [4, 8, 12, 16, 32] bits
+    let native = |i| v(&f, "Plain CPU", i);
+    let sgx = |i| v(&f, "SGX (Data in Enclave)", i);
+    assert!(native(0) > 1.5 * native(4), "4-bit packing far ahead of 32-bit");
+    for i in 0..f.xs.len() {
+        let rel = sgx(i) / native(i);
+        assert!(rel > 0.85, "width {i}: enclave packed scans near parity, got {rel:.3}");
+    }
+}
+
+#[test]
+fn table1_emits() {
+    let f = ex::table1(&tiny());
+    assert!(!f.xs.is_empty());
+    assert!(f.render().contains("Sockets"));
+}

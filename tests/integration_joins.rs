@@ -1,0 +1,130 @@
+//! Cross-crate integration tests: every join algorithm agrees with the
+//! reference join on the same inputs, in every execution setting, and
+//! property-based inputs cannot break them.
+
+use proptest::prelude::*;
+use sgx_bench_core::prelude::*;
+use sgx_bench_core::sgx_joins::{
+    crkjoin::crk_join, inl::inl_join, mway::mway_join, pht::pht_join, rho::rho_join,
+};
+use sgx_bench_core::sgx_sim::config::xeon_gold_6326;
+
+fn tiny_hw() -> HwConfig {
+    xeon_gold_6326().scaled(64)
+}
+
+/// Run all five joins on the same data and return (matches, checksum)
+/// per algorithm.
+fn all_joins(setting: Setting, nr: usize, ns: usize, seed: u64) -> Vec<(String, u64, u64)> {
+    let mut out = Vec::new();
+    for algo in ["rho", "pht", "mway", "inl", "crk"] {
+        let mut m = Machine::new(tiny_hw(), setting);
+        let mut r = gen_pk_relation(&mut m, nr, seed);
+        let mut s = gen_fk_relation(&mut m, ns, nr, seed + 1);
+        let cfg = JoinConfig::new(4).with_radix_bits(5);
+        let stats = match algo {
+            "rho" => rho_join(&mut m, &r, &s, &cfg),
+            "pht" => pht_join(&mut m, &r, &s, &cfg),
+            "mway" => mway_join(&mut m, &r, &s, &cfg),
+            "inl" => inl_join(&mut m, &r, &s, &cfg),
+            _ => crk_join(&mut m, &mut r, &mut s, &cfg),
+        };
+        out.push((algo.to_string(), stats.matches, stats.checksum));
+    }
+    out
+}
+
+#[test]
+fn all_joins_agree_in_all_settings() {
+    for setting in Setting::all() {
+        let mut m = Machine::new(tiny_hw(), setting);
+        let r = gen_pk_relation(&mut m, 3000, 5);
+        let s = gen_fk_relation(&mut m, 12_000, 3000, 6);
+        let (m_ref, c_ref) = reference_join(&r, &s);
+        for (algo, matches, checksum) in all_joins(setting, 3000, 12_000, 5) {
+            assert_eq!(matches, m_ref, "{algo} matches in {setting:?}");
+            assert_eq!(checksum, c_ref, "{algo} checksum in {setting:?}");
+        }
+    }
+}
+
+#[test]
+fn settings_do_not_change_answers_only_time() {
+    let native = all_joins(Setting::PlainCpu, 2000, 8000, 9);
+    let enclave = all_joins(Setting::SgxDataInEnclave, 2000, 8000, 9);
+    assert_eq!(native, enclave, "results must be setting-independent");
+}
+
+#[test]
+fn optimization_and_queues_preserve_results() {
+    let mut m = Machine::new(tiny_hw(), Setting::SgxDataInEnclave);
+    let r = gen_pk_relation(&mut m, 4000, 1);
+    let s = gen_fk_relation(&mut m, 16_000, 4000, 2);
+    let (m_ref, c_ref) = reference_join(&r, &s);
+    for optimized in [false, true] {
+        for queue in [QueueKind::LockFree, QueueKind::SdkMutex, QueueKind::SpinLock] {
+            for materialize in [false, true] {
+                let cfg = JoinConfig::new(6)
+                    .with_radix_bits(7)
+                    .with_optimization(optimized)
+                    .with_queue(queue)
+                    .with_materialization(materialize);
+                let stats = rho_join(&mut m, &r, &s, &cfg);
+                assert_eq!(stats.matches, m_ref);
+                assert_eq!(stats.checksum, c_ref);
+                if materialize {
+                    let total: usize = stats.output_runs.iter().map(|r| r.len()).sum();
+                    assert_eq!(total as u64, m_ref, "runs must cover all matches");
+                }
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Property: for arbitrary relation sizes and seeds, every join
+    /// algorithm produces exactly the reference matches and checksum.
+    #[test]
+    fn joins_match_reference_on_arbitrary_inputs(
+        nr in 1usize..2000,
+        s_factor in 1usize..6,
+        seed in 0u64..1000,
+        threads in 1usize..8,
+        bits in 2u32..9,
+    ) {
+        let ns = nr * s_factor;
+        let mut m = Machine::new(tiny_hw(), Setting::SgxDataInEnclave);
+        let mut r = gen_pk_relation(&mut m, nr, seed);
+        let mut s = gen_fk_relation(&mut m, ns, nr, seed + 1);
+        let (m_ref, c_ref) = reference_join(&r, &s);
+        let cfg = JoinConfig::new(threads).with_radix_bits(bits);
+        let results = [
+            rho_join(&mut m, &r, &s, &cfg),
+            pht_join(&mut m, &r, &s, &cfg),
+            mway_join(&mut m, &r, &s, &cfg),
+            inl_join(&mut m, &r, &s, &cfg),
+            crk_join(&mut m, &mut r, &mut s, &cfg),
+        ];
+        for st in results {
+            prop_assert_eq!(st.matches, m_ref);
+            prop_assert_eq!(st.checksum, c_ref);
+        }
+    }
+
+    /// Property: join wall time is positive and monotonic in probe size
+    /// (more input cannot be free).
+    #[test]
+    fn join_cost_grows_with_input(nr in 200usize..800, seed in 0u64..100) {
+        let mut m = Machine::new(tiny_hw(), Setting::PlainCpu);
+        let r = gen_pk_relation(&mut m, nr, seed);
+        let s1 = gen_fk_relation(&mut m, nr, nr, seed + 1);
+        let s4 = gen_fk_relation(&mut m, 8 * nr, nr, seed + 2);
+        let cfg = JoinConfig::new(2).with_radix_bits(4);
+        let t1 = rho_join(&mut m, &r, &s1, &cfg).wall_cycles;
+        let t4 = rho_join(&mut m, &r, &s4, &cfg).wall_cycles;
+        prop_assert!(t1 > 0.0);
+        prop_assert!(t4 > t1, "8x probe rows must cost more: {} vs {}", t4, t1);
+    }
+}

@@ -1,0 +1,176 @@
+//! Property tests on the simulator itself: determinism, monotonicity, and
+//! conservation laws that every experiment implicitly relies on.
+
+use proptest::prelude::*;
+use sgx_bench_core::prelude::*;
+use sgx_bench_core::sgx_sim::config::xeon_gold_6326;
+
+fn tiny_hw() -> HwConfig {
+    xeon_gold_6326().scaled(64)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Determinism: identical programs produce bit-identical cycle counts.
+    #[test]
+    fn identical_runs_are_bit_identical(
+        n in 1usize..20_000,
+        ops in 1usize..5000,
+        seed in 0u64..1000,
+        setting_ix in 0usize..3,
+    ) {
+        let setting = Setting::all()[setting_ix];
+        let run = || {
+            let mut m = Machine::new(tiny_hw(), setting);
+            let mut v = m.alloc::<u64>(n);
+            m.run(|c| {
+                let mut x = seed | 1;
+                for _ in 0..ops {
+                    x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+                    let i = (x >> 33) as usize % n;
+                    if x & 1 == 0 {
+                        v.rmw(c, i, |e| *e += 1);
+                    } else {
+                        let _ = v.get(c, i);
+                    }
+                }
+            });
+            m.wall_cycles()
+        };
+        prop_assert_eq!(run().to_bits(), run().to_bits());
+    }
+
+    /// Cycles are strictly positive and grow monotonically with the amount
+    /// of charged work.
+    #[test]
+    fn more_work_costs_more(n in 64usize..10_000, seed in 0u64..100) {
+        let mut m = Machine::new(tiny_hw(), Setting::SgxDataInEnclave);
+        let v = m.alloc::<u64>(n);
+        // Warm the caches so all measured passes start from the same
+        // state (a cold first pass can legitimately cost more than a
+        // longer warm one).
+        m.run(|c| {
+            for i in 0..n {
+                let _ = v.get(c, i);
+            }
+        });
+        let mut costs = Vec::new();
+        for reps in [1usize, 2, 4] {
+            let before = m.wall_cycles();
+            m.run(|c| {
+                let mut x = seed | 1;
+                for _ in 0..reps * n {
+                    x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+                    let _ = v.get(c, (x >> 33) as usize % n);
+                }
+            });
+            costs.push(m.wall_cycles() - before);
+        }
+        prop_assert!(costs[0] > 0.0);
+        // Warm caches make later passes cheaper per access, but doubling
+        // the access count can never reduce the total.
+        prop_assert!(costs[1] > costs[0] * 0.99);
+        prop_assert!(costs[2] > costs[1] * 0.99);
+    }
+
+    /// Load/store counters conserve: every charged accessor bumps exactly
+    /// the accesses it performs.
+    #[test]
+    fn counters_account_every_access(
+        loads in 0usize..2000,
+        stores in 0usize..2000,
+        rmws in 0usize..2000,
+    ) {
+        let mut m = Machine::new(tiny_hw(), Setting::PlainCpu);
+        let mut v = m.alloc::<u64>(4096);
+        m.run(|c| {
+            for i in 0..loads {
+                let _ = v.get(c, i % 4096);
+            }
+            for i in 0..stores {
+                v.set(c, i % 4096, i as u64);
+            }
+            for i in 0..rmws {
+                v.rmw(c, i % 4096, |e| *e += 1);
+            }
+        });
+        prop_assert_eq!(m.counters().loads, (loads + rmws) as u64);
+        prop_assert_eq!(m.counters().stores, (stores + rmws) as u64);
+    }
+
+    /// The enclave never makes anything *faster*: for any mixed workload,
+    /// SGX-data-in-enclave wall time ≥ plain-CPU wall time.
+    #[test]
+    fn enclave_never_faster(
+        n in 64usize..30_000,
+        ops in 100usize..4000,
+        seed in 0u64..300,
+    ) {
+        let run = |setting: Setting| {
+            let mut m = Machine::new(tiny_hw(), setting);
+            let mut v = m.alloc::<u64>(n);
+            let data = m.alloc::<u64>(n);
+            m.run(|c| {
+                data.read_stream(c, 0..n.min(ops), |c, i, x| {
+                    let idx = (x as usize).wrapping_add(i) % n;
+                    v.rmw(c, idx, |e| *e += 1);
+                });
+                let mut x = seed | 1;
+                for _ in 0..ops {
+                    x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+                    let _ = v.get(c, (x >> 33) as usize % n);
+                }
+            });
+            m.wall_cycles()
+        };
+        let native = run(Setting::PlainCpu);
+        let enclave = run(Setting::SgxDataInEnclave);
+        prop_assert!(enclave >= native * 0.999,
+            "enclave {} must not beat native {}", enclave, native);
+    }
+
+    /// Stream reads deliver every element exactly once, in order.
+    #[test]
+    fn stream_reads_are_complete_and_ordered(
+        n in 1usize..20_000,
+        start_frac in 0.0f64..1.0,
+        len_frac in 0.0f64..1.0,
+    ) {
+        let mut m = Machine::new(tiny_hw(), Setting::PlainCpu);
+        let mut v = m.alloc::<u64>(n);
+        for i in 0..n {
+            v.poke(i, i as u64 * 3);
+        }
+        let start = ((n as f64 * start_frac) as usize).min(n);
+        let len = ((n - start) as f64 * len_frac) as usize;
+        let range = start..start + len;
+        let mut seen = Vec::with_capacity(len);
+        m.run(|c| {
+            v.read_stream(c, range.clone(), |_, i, x| seen.push((i, x)));
+        });
+        prop_assert_eq!(seen.len(), len);
+        for (k, &(i, x)) in seen.iter().enumerate() {
+            prop_assert_eq!(i, start + k);
+            prop_assert_eq!(x, (start + k) as u64 * 3);
+        }
+    }
+
+    /// Parallel phases: wall time equals the max worker when no shared
+    /// resource binds, and never exceeds the sum.
+    #[test]
+    fn phase_wall_between_max_and_sum(workers in 1usize..16, per in 1usize..500) {
+        let mut m = Machine::new(tiny_hw(), Setting::PlainCpu);
+        let v = m.alloc::<u64>(4096);
+        let cores: Vec<usize> = (0..workers).collect();
+        let stats = m.parallel(&cores, |c| {
+            for i in 0..per * (c.worker() + 1) {
+                let _ = v.get(c, (i * 37) % 4096);
+            }
+        });
+        let max = stats.core_cycles.iter().cloned().fold(0.0, f64::max);
+        let sum: f64 = stats.core_cycles.iter().sum();
+        prop_assert!(stats.wall_cycles >= max * 0.999);
+        prop_assert!(stats.wall_cycles <= sum + 1.0);
+    }
+}

@@ -1,0 +1,80 @@
+//! Integration tests for the TPC-H query engine across settings and
+//! configurations.
+
+use proptest::prelude::*;
+use sgx_bench_core::prelude::*;
+use sgx_bench_core::sgx_sim::config::xeon_gold_6326;
+use sgx_bench_core::sgx_tpch::{generate, reference_count};
+
+fn tiny_hw() -> HwConfig {
+    xeon_gold_6326().scaled(64)
+}
+
+#[test]
+fn query_results_are_setting_and_config_independent() {
+    let mut counts: Option<Vec<u64>> = None;
+    for setting in Setting::all() {
+        for optimized in [false, true] {
+            let mut m = Machine::new(tiny_hw(), setting);
+            let db = generate(&mut m, 0.004, 77);
+            let cfg = QueryConfig::new(4).with_optimization(optimized);
+            let these: Vec<u64> =
+                Query::all().iter().map(|&q| run_query(&mut m, &db, q, &cfg).count).collect();
+            match &counts {
+                None => {
+                    // Anchor against the uncharged reference.
+                    let expected: Vec<u64> =
+                        Query::all().iter().map(|&q| reference_count(&db, q)).collect();
+                    assert_eq!(these, expected, "first run vs reference");
+                    counts = Some(these);
+                }
+                Some(c) => assert_eq!(&these, c, "{setting:?} optimized={optimized}"),
+            }
+        }
+    }
+}
+
+#[test]
+fn enclave_queries_cost_more_but_not_wildly_more() {
+    let total = |setting: Setting| {
+        let mut m = Machine::new(tiny_hw(), setting);
+        let db = generate(&mut m, 0.01, 42);
+        m.reset_wall();
+        let cfg = QueryConfig::new(8).with_optimization(true);
+        Query::all()
+            .iter()
+            .map(|&q| run_query(&mut m, &db, q, &cfg).wall_cycles)
+            .sum::<f64>()
+    };
+    let native = total(Setting::PlainCpu);
+    let sgx = total(Setting::SgxDataInEnclave);
+    let overhead = sgx / native - 1.0;
+    assert!(overhead > 0.0, "enclave should cost something");
+    assert!(
+        overhead < 0.8,
+        "optimized queries should be within tens of percent of native (paper: 15%); got {:.0}%",
+        overhead * 100.0
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Property: for arbitrary (tiny) scale factors and seeds, the charged
+    /// query pipelines agree with the uncharged reference counts.
+    #[test]
+    fn queries_match_reference_on_arbitrary_databases(
+        sf_millis in 1u32..8,
+        seed in 0u64..100,
+        threads in 1usize..8,
+    ) {
+        let sf = sf_millis as f64 / 1000.0;
+        let mut m = Machine::new(tiny_hw(), Setting::SgxDataInEnclave);
+        let db = generate(&mut m, sf, seed);
+        let cfg = QueryConfig::new(threads);
+        for q in Query::all() {
+            let got = run_query(&mut m, &db, q, &cfg).count;
+            prop_assert_eq!(got, reference_count(&db, q), "{}", q.label());
+        }
+    }
+}
