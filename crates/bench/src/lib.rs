@@ -4,3 +4,5 @@
 //! The experiment logic itself lives in `sgx_bench_core::experiments` so
 //! the workspace integration tests can exercise the same code paths on a
 //! tiny profile.
+
+#![forbid(unsafe_code)]

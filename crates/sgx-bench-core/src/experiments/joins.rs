@@ -172,6 +172,7 @@ pub fn fig04_pht(p: &BenchProfile) -> (Figure, Figure) {
     left.push_series("SGX / plain CPU", points);
     left.note("paper: ~95% at cache-resident sizes, ~51% at 100 MB");
 
+    // sgx-lint: allow(panic-in-library) the size list above is a non-empty constant, so `last` is always set
     let (native, sgx) = last.expect("at least one size measured");
     let mut right = Figure::new(
         "fig04b",

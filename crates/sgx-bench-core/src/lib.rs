@@ -32,10 +32,12 @@
 //! println!("throughput: {:.1} M rows/s", stats.mrows_per_sec(r.len(), s.len(), 2.9));
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod chart;
 pub mod experiments;
+pub mod json;
 pub mod profiles;
 pub mod report;
 

@@ -34,16 +34,16 @@ impl RunOpts {
             match a.as_str() {
                 "--full" => opts.full = true,
                 "--reps" => {
-                    opts.reps = it
-                        .next()
-                        .and_then(|v| v.parse().ok())
-                        .expect("--reps needs an integer");
+                    opts.reps = it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+                        eprintln!("error: --reps needs an integer");
+                        std::process::exit(2);
+                    });
                 }
                 "--scale" => {
-                    opts.scale = it
-                        .next()
-                        .and_then(|v| v.parse().ok())
-                        .expect("--scale needs an integer");
+                    opts.scale = it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+                        eprintln!("error: --scale needs an integer");
+                        std::process::exit(2);
+                    });
                 }
                 "--help" | "-h" => {
                     eprintln!("options: --full | --reps N | --scale N");

@@ -5,11 +5,11 @@
 //! render as aligned text tables on stdout and serialize to JSON for
 //! downstream tooling (EXPERIMENTS.md is assembled from these).
 
-use serde::{Deserialize, Serialize};
+use crate::json::Value;
 use std::fmt::Write as _;
 
 /// One measured point: mean and standard deviation over repetitions.
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct Stat {
     /// Arithmetic mean (the paper reports means over 10 runs).
     pub mean: f64,
@@ -33,7 +33,7 @@ impl Stat {
 }
 
 /// One labelled series (a bar group or plot line).
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Series {
     /// Legend label (e.g. "SGX (Data in Enclave)").
     pub label: String,
@@ -42,7 +42,7 @@ pub struct Series {
 }
 
 /// A reproduced figure or table.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Figure {
     /// Identifier matching the paper ("fig05", "table1", …).
     pub id: String,
@@ -135,9 +135,99 @@ impl Figure {
         out
     }
 
-    /// Serialize to pretty JSON.
+    /// Serialize to pretty JSON via the deterministic hand-rolled printer
+    /// (`crate::json`): fixed key order, fixed float formatting, so equal
+    /// figures always produce byte-identical reports.
     pub fn to_json(&self) -> String {
-        serde_json::to_string_pretty(self).expect("figures are serializable")
+        let stat = |s: &Stat| {
+            Value::Obj(vec![
+                ("mean".into(), Value::Num(s.mean)),
+                ("stddev".into(), Value::Num(s.stddev)),
+            ])
+        };
+        let series = |s: &Series| {
+            Value::Obj(vec![
+                ("label".into(), Value::Str(s.label.clone())),
+                (
+                    "points".into(),
+                    Value::Arr(
+                        s.points.iter().map(|p| p.as_ref().map_or(Value::Null, stat)).collect(),
+                    ),
+                ),
+            ])
+        };
+        let strs = |v: &[String]| Value::Arr(v.iter().map(|s| Value::Str(s.clone())).collect());
+        Value::Obj(vec![
+            ("id".into(), Value::Str(self.id.clone())),
+            ("title".into(), Value::Str(self.title.clone())),
+            ("x_label".into(), Value::Str(self.x_label.clone())),
+            ("unit".into(), Value::Str(self.unit.clone())),
+            ("xs".into(), strs(&self.xs)),
+            ("series".into(), Value::Arr(self.series.iter().map(series).collect())),
+            ("notes".into(), strs(&self.notes)),
+        ])
+        .pretty()
+    }
+
+    /// Parse a figure previously written by [`Figure::to_json`].
+    pub fn from_json(text: &str) -> Result<Figure, String> {
+        let v = Value::parse(text)?;
+        let str_field = |key: &str| -> Result<String, String> {
+            v.get(key)
+                .and_then(Value::as_str)
+                .map(str::to_string)
+                .ok_or_else(|| format!("figure JSON missing string field {key:?}"))
+        };
+        let str_list = |key: &str| -> Result<Vec<String>, String> {
+            v.get(key)
+                .and_then(Value::as_arr)
+                .ok_or_else(|| format!("figure JSON missing array field {key:?}"))?
+                .iter()
+                .map(|e| {
+                    e.as_str()
+                        .map(str::to_string)
+                        .ok_or_else(|| format!("non-string entry in {key:?}"))
+                })
+                .collect()
+        };
+        let num = |v: &Value, key: &str| -> Result<f64, String> {
+            v.get(key)
+                .and_then(Value::as_f64)
+                .ok_or_else(|| format!("stat missing numeric field {key:?}"))
+        };
+        let series = v
+            .get("series")
+            .and_then(Value::as_arr)
+            .ok_or_else(|| "figure JSON missing array field \"series\"".to_string())?
+            .iter()
+            .map(|s| {
+                let label = s
+                    .get("label")
+                    .and_then(Value::as_str)
+                    .ok_or_else(|| "series missing \"label\"".to_string())?
+                    .to_string();
+                let points = s
+                    .get("points")
+                    .and_then(Value::as_arr)
+                    .ok_or_else(|| "series missing \"points\"".to_string())?
+                    .iter()
+                    .map(|p| match p {
+                        Value::Null => Ok(None),
+                        p => Ok(Some(Stat { mean: num(p, "mean")?, stddev: num(p, "stddev")? })),
+                    })
+                    .collect::<Result<Vec<_>, String>>()?;
+                Ok(Series { label, points })
+            })
+            .collect::<Result<Vec<_>, String>>()?;
+        Ok(Figure {
+            id: str_field("id")?,
+            title: str_field("title")?,
+            x_label: str_field("x_label")?,
+            unit: str_field("unit")?,
+            xs: str_list("xs")?,
+            series,
+            notes: str_list("notes")?,
+        })
     }
 
     /// Print the text table and write both the JSON and an SVG chart under
@@ -196,10 +286,16 @@ mod tests {
     fn json_roundtrip() {
         let mut f = Figure::new("fig1", "t", "x", "u").with_xs(["a"]);
         f.push_series("s", vec![Some(Stat::exact(1.5))]);
+        f.push_series("gap", vec![None]);
+        f.note("a note");
         let j = f.to_json();
-        let back: Figure = serde_json::from_str(&j).unwrap();
+        let back = Figure::from_json(&j).unwrap();
         assert_eq!(back.id, "fig1");
         assert_eq!(back.series[0].points[0].unwrap().mean, 1.5);
+        assert!(back.series[1].points[0].is_none());
+        assert_eq!(back.notes, vec!["a note".to_string()]);
+        // Re-serializing the parse result reproduces the exact bytes.
+        assert_eq!(back.to_json(), j);
     }
 
     #[test]

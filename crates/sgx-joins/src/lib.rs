@@ -21,6 +21,7 @@
 //! [`JoinStats`] carry simulated timings, per-phase breakdowns
 //! (Figs 4 & 6), and a checksum tests verify against [`data::reference_join`].
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod cht;

@@ -1,0 +1,4 @@
+// Counters stay u64 end to end; f64 is sanctioned for ratios.
+pub fn throughput(cycles: u64, rows: u64, ghz: f64) -> f64 {
+    rows as f64 / (cycles as f64 / ghz / 1e9) / 1e6
+}

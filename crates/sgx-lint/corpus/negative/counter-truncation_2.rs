@@ -1,0 +1,4 @@
+// Narrow casts of non-counter values (indexes, keys) are fine.
+pub fn bucket_of(key: u64, mask: u64) -> usize {
+    (key & mask) as usize
+}

@@ -1,0 +1,8 @@
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+// Seeded generator: identical seeds, identical streams.
+pub fn gen_keys(n: usize, seed: u64) -> Vec<u32> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n).map(|_| rng.random::<u32>()).collect()
+}

@@ -1,0 +1,10 @@
+use std::collections::BTreeMap;
+
+// Ordered map: iteration order is the key order, every run.
+pub fn group_totals(keys: &[u32]) -> Vec<(u32, u64)> {
+    let mut m: BTreeMap<u32, u64> = BTreeMap::new();
+    for &k in keys {
+        *m.entry(k).or_default() += 1;
+    }
+    m.into_iter().collect()
+}

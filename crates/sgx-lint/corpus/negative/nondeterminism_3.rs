@@ -1,0 +1,9 @@
+// The word Instant in comments or strings is not a finding; cycle-model
+// timing via the machine is the sanctioned clock.
+pub fn measure(machine: &mut Machine) -> u64 {
+    let start = machine.wall_cycles();
+    machine.run(|c| c.compute(100));
+    let label = "not an Instant, just a string";
+    let _ = label;
+    machine.wall_cycles() - start
+}

@@ -1,0 +1,4 @@
+// Result propagation instead of unwrap.
+pub fn parse_reps(arg: &str) -> Result<usize, String> {
+    arg.parse().map_err(|e| format!("--reps needs an integer: {e}"))
+}

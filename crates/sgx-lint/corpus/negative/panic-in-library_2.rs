@@ -1,0 +1,7 @@
+// unwrap_or / unwrap_or_else are total, not panicking.
+pub fn first_or_zero(rows: &[u32]) -> u32 {
+    rows.first().copied().unwrap_or(0)
+}
+pub fn reps_or_default(arg: Option<&str>) -> usize {
+    arg.and_then(|a| a.parse().ok()).unwrap_or_else(|| 10)
+}

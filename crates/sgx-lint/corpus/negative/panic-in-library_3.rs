@@ -1,0 +1,16 @@
+// unwrap inside #[cfg(test)] code is test code, not library code.
+pub fn double(x: u32) -> u32 {
+    x * 2
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn doubles() {
+        let v: Option<u32> = Some(2);
+        assert_eq!(super::double(v.unwrap()), 4);
+        if false {
+            panic!("unreached");
+        }
+    }
+}

@@ -1,0 +1,5 @@
+// An allow-marker with a reason sanctions a vetted unsafe block.
+pub fn bytes_of(rows: &[u64]) -> &[u8] {
+    // sgx-lint: allow(unsafe-code) layout-checked by the test suite; no mutation, lifetime tied to input
+    unsafe { std::slice::from_raw_parts(rows.as_ptr() as *const u8, rows.len() * 8) }
+}

@@ -1,0 +1,6 @@
+// Charged accessor usage, fully safe.
+pub fn fill(c: &mut Core, v: &mut SimVec<u64>) {
+    for i in 0..v.len() {
+        v.set(c, i, i as u64);
+    }
+}

@@ -1,0 +1,11 @@
+// Charged accessors only: every access flows through the event stream.
+pub fn probe_all(c: &mut Core, table: &SimVec<Row>, keys: &SimVec<u32>) -> u64 {
+    let mut matches = 0u64;
+    keys.read_stream(c, 0..keys.len(), |c, _, k| {
+        c.compute(1);
+        if table.get(c, (k as usize) % table.len()).key == k {
+            matches += 1;
+        }
+    });
+    matches
+}

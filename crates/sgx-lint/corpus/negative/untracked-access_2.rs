@@ -1,0 +1,5 @@
+// A reasoned allow-marker makes the untracked read legitimate.
+pub fn reference_sum(col: &SimVec<u64>) -> u64 {
+    // sgx-lint: allow(untracked-access) uncharged reference oracle for tests
+    col.as_slice_untracked().iter().sum()
+}

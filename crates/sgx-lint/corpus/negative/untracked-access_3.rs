@@ -1,0 +1,4 @@
+// Plain std slices are not SimVec escapes; `as_slice` on a Vec is fine.
+pub fn vec_total(v: &Vec<u64>) -> u64 {
+    v.as_slice().iter().sum()
+}

@@ -1,0 +1,4 @@
+// Byte counter truncated on 32-bit targets.
+pub fn index_by_bytes(bytes_read: u64, table: &[u64]) -> u64 {
+    table[bytes_read as usize]
+}

@@ -1,0 +1,6 @@
+// Narrowing a PMU counter before the ratio is taken loses the high half.
+pub struct Sample { pub tick_counter: u64 }
+pub fn ratio(s: &Sample, total: u64) -> u64 {
+    let small = s.tick_counter as u32;
+    small as u64 * 100 / total
+}

@@ -1,0 +1,5 @@
+// OS entropy in data generation: every run gets different inputs.
+pub fn gen_keys(n: usize) -> Vec<u32> {
+    let mut rng = rand::thread_rng();
+    (0..n).map(|_| rng.random::<u32>()).collect()
+}

@@ -1,0 +1,6 @@
+// Wall-clock timing instead of the simulator's cycle model.
+pub fn measure<F: FnOnce()>(f: F) -> u128 {
+    let start = std::time::Instant::now();
+    f();
+    start.elapsed().as_nanos()
+}

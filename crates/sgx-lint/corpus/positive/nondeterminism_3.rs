@@ -1,0 +1,11 @@
+use std::collections::HashMap;
+
+// Default-hasher map whose iteration order feeds the result vector:
+// RandomState makes the output order differ run to run.
+pub fn group_totals(keys: &[u32]) -> Vec<(u32, u64)> {
+    let mut m: HashMap<u32, u64> = HashMap::new();
+    for &k in keys {
+        *m.entry(k).or_default() += 1;
+    }
+    m.into_iter().collect()
+}

@@ -1,0 +1,7 @@
+// SystemTime-derived seed: irreproducible by construction.
+pub fn seed_of_day() -> u64 {
+    std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0)
+}

@@ -1,0 +1,4 @@
+// unwrap on user-controlled input: a malformed config aborts the run.
+pub fn parse_reps(arg: &str) -> usize {
+    arg.parse().unwrap()
+}

@@ -1,0 +1,4 @@
+// expect in a library accessor.
+pub fn first_row(rows: &[u32]) -> u32 {
+    *rows.first().expect("rows must not be empty")
+}

@@ -1,0 +1,7 @@
+// Explicit panic! on a recoverable condition.
+pub fn checked_div(a: u64, b: u64) -> u64 {
+    if b == 0 {
+        panic!("division by zero");
+    }
+    a / b
+}

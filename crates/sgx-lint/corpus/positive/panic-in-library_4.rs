@@ -1,0 +1,4 @@
+// todo! left in a shipping code path.
+pub fn merge_phase(_left: &[u32], _right: &[u32]) -> Vec<u32> {
+    todo!("implement the merge phase")
+}

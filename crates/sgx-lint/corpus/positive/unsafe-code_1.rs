@@ -1,0 +1,9 @@
+// Raw-pointer arithmetic around the tracked accessors.
+pub fn sum_raw(v: &[u64]) -> u64 {
+    let mut total = 0u64;
+    let p = v.as_ptr();
+    for i in 0..v.len() {
+        total += unsafe { *p.add(i) };
+    }
+    total
+}

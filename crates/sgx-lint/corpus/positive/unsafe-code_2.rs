@@ -1,0 +1,4 @@
+// Transmuting row layouts instead of converting.
+pub fn rows_as_bytes(rows: &[u64]) -> &[u8] {
+    unsafe { std::slice::from_raw_parts(rows.as_ptr() as *const u8, rows.len() * 8) }
+}

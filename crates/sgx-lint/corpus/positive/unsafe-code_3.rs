@@ -1,0 +1,4 @@
+// unsafe fn in the public API surface.
+pub unsafe fn get_unchecked_row(rows: &[u32], i: usize) -> u32 {
+    *rows.get_unchecked(i)
+}

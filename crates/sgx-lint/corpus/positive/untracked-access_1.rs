@@ -1,0 +1,13 @@
+// Hot-path probe loop reading the build side through the untracked slice:
+// every byte here escapes the cost model.
+pub fn probe_all(table: &SimVec<Row>, keys: &[u32]) -> u64 {
+    let mut matches = 0u64;
+    for &k in keys {
+        for row in table.as_slice_untracked() {
+            if row.key == k {
+                matches += 1;
+            }
+        }
+    }
+    matches
+}

@@ -1,0 +1,9 @@
+// Scatter phase writing through the untracked mutable slice.
+pub fn scatter(dst: &mut SimVec<Row>, rows: &[Row], cursors: &mut [usize], mask: u32) {
+    let out = dst.as_mut_slice_untracked();
+    for r in rows {
+        let p = (r.key & mask) as usize;
+        out[cursors[p]] = *r;
+        cursors[p] += 1;
+    }
+}

@@ -1,0 +1,4 @@
+// Summing a column via the raw view inside the timed region.
+pub fn column_sum(col: &SimVec<u64>) -> u64 {
+    col.as_slice_untracked().iter().sum()
+}

@@ -1,0 +1,149 @@
+//! Command-line front end.
+//!
+//! ```text
+//! sgx-lint [--json] [paths...]          lint (default root: crates)
+//! sgx-lint --score-corpus <dir>         score the labeled corpus
+//! ```
+//!
+//! Exit code 0 = clean (or corpus at 100% TP / 0 FP), 1 = findings (or
+//! corpus misses), 2 = usage error.
+
+use crate::corpus;
+use crate::engine::FileReport;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+/// JSON-escape a string (the lint is dependency-free by design).
+fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Run the CLI on `args` (without the program name).
+pub fn run(args: impl Iterator<Item = String>) -> ExitCode {
+    let mut json = false;
+    let mut corpus_dir: Option<PathBuf> = None;
+    let mut paths: Vec<PathBuf> = Vec::new();
+    let mut args = args.peekable();
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--json" => json = true,
+            "--score-corpus" => match args.next() {
+                Some(dir) => corpus_dir = Some(PathBuf::from(dir)),
+                None => {
+                    eprintln!("sgx-lint: --score-corpus needs a directory");
+                    return ExitCode::from(2);
+                }
+            },
+            "--help" | "-h" => {
+                println!(
+                    "usage: sgx-lint [--json] [paths...]\n       sgx-lint --score-corpus <dir>\n\nLints workspace Rust sources for model-integrity violations\n(untracked-access, nondeterminism, counter-truncation,\npanic-in-library, unsafe-code). Default scan root: crates"
+                );
+                return ExitCode::SUCCESS;
+            }
+            flag if flag.starts_with('-') => {
+                eprintln!("sgx-lint: unknown flag {flag}");
+                return ExitCode::from(2);
+            }
+            path => paths.push(PathBuf::from(path)),
+        }
+    }
+
+    if let Some(dir) = corpus_dir {
+        let score = match corpus::score(&dir) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("sgx-lint: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        print!("{}", score.table());
+        return if score.perfect() { ExitCode::SUCCESS } else { ExitCode::FAILURE };
+    }
+
+    if paths.is_empty() {
+        paths.push(PathBuf::from("crates"));
+    }
+    // A typo'd root must not pass as "0 findings across 0 files" in CI.
+    for p in &paths {
+        if !p.exists() {
+            eprintln!("sgx-lint: no such path: {}", p.display());
+            return ExitCode::from(2);
+        }
+    }
+    let reports = crate::analyze_paths(&paths);
+    let total: usize = reports.iter().map(|(_, r)| r.findings.len()).sum();
+    let suppressed: usize = reports.iter().map(|(_, r)| r.suppressed).sum();
+    let files = reports.len();
+
+    if json {
+        print!("{}", render_json(&reports, suppressed));
+    } else {
+        for (_, report) in &reports {
+            for f in &report.findings {
+                println!("{}:{}: [{}] {}", f.path, f.line, f.rule, f.message);
+            }
+        }
+        println!(
+            "sgx-lint: {total} finding{} across {files} files ({suppressed} suppressed by allow-markers)",
+            if total == 1 { "" } else { "s" }
+        );
+    }
+    if total == 0 {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+fn render_json(reports: &[(PathBuf, FileReport)], suppressed: usize) -> String {
+    let mut out = String::from("{\n  \"findings\": [");
+    let mut first = true;
+    for (_, report) in reports {
+        for f in &report.findings {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            out.push_str(&format!(
+                "\n    {{\"path\": {}, \"line\": {}, \"rule\": {}, \"message\": {}}}",
+                esc(&f.path),
+                f.line,
+                esc(&f.rule),
+                esc(&f.message)
+            ));
+        }
+    }
+    if !first {
+        out.push_str("\n  ");
+    }
+    let total: usize = reports.iter().map(|(_, r)| r.findings.len()).sum();
+    out.push_str(&format!(
+        "],\n  \"total\": {total},\n  \"suppressed\": {suppressed},\n  \"files\": {}\n}}\n",
+        reports.len()
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_escaping() {
+        assert_eq!(esc("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+        assert_eq!(esc("plain"), "\"plain\"");
+    }
+}

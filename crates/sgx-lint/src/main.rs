@@ -1,0 +1,7 @@
+//! CLI entry point: `cargo run -p sgx-lint -- [--json] [paths...]`.
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    sgx_lint::cli::run(std::env::args().skip(1))
+}

@@ -1,0 +1,21 @@
+//! Tier-1 guard: the labeled corpus must score perfectly.
+//!
+//! Every `corpus/positive/<rule>_<n>.rs` case must trigger its labeled
+//! rule (a miss is a false negative) and every `corpus/negative/*.rs`
+//! case must produce zero findings of any rule (each finding is a false
+//! positive). Any FN or FP fails this test, so rule regressions surface
+//! in `cargo test` before they surface as noise in the workspace lint.
+
+use std::path::Path;
+
+#[test]
+fn corpus_scores_perfectly() {
+    let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("corpus");
+    let score = sgx_lint::corpus::score(&dir).unwrap_or_else(|e| panic!("corpus unreadable: {e}"));
+    assert!(
+        score.cases >= 30,
+        "corpus shrank below 3 positive + 3 negative cases per rule ({} cases)",
+        score.cases
+    );
+    assert!(score.perfect(), "corpus regression:\n{}", score.table());
+}

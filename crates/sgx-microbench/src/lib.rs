@@ -16,6 +16,7 @@
 //! the simulator reproduces the paper's measured ratios, which is the
 //! load-bearing evidence for every higher-level experiment.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod histogram;

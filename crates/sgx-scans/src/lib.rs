@@ -11,6 +11,7 @@
 //! a scalar filter in tests) while charging the simulator per 64-byte
 //! vector operation.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod linear;

@@ -91,6 +91,7 @@ impl Cache {
         let victim = set
             .iter_mut()
             .min_by_key(|w| w.lru)
+            // sgx-lint: allow(panic-in-library) associativity >= 1 is validated at Cache::new, sets are never empty
             .expect("cache sets always have at least one way");
         let evicted =
             if victim.dirty { Evicted::Dirty(victim.tag) } else { Evicted::Clean(victim.tag) };

@@ -7,7 +7,6 @@
 //! paper's micro-benchmark ratios, so changing a constant here without
 //! re-checking calibration will fail CI.
 
-use serde::{Deserialize, Serialize};
 
 /// Cache line size in bytes. SGX encrypts/decrypts at cache-line granularity.
 pub const CACHE_LINE: usize = 64;
@@ -15,7 +14,7 @@ pub const CACHE_LINE: usize = 64;
 pub const PAGE_SIZE: usize = 4096;
 
 /// Geometry of one cache level.
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct CacheConfig {
     /// Total capacity in bytes.
     pub size: usize,
@@ -38,7 +37,7 @@ impl CacheConfig {
 /// (sequential access behind the hardware prefetcher) is what makes the
 /// paper's central contrast emerge: random access into the EPC is expensive
 /// (§4.1, Fig 5) while sequential scans are almost free (§5.1, Fig 12).
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct MemConfig {
     /// Random-access load latency from local DRAM, in cycles.
     /// Ice Lake SP local DRAM latency is ~75-85 ns; at 2.9 GHz ≈ 220 cycles.
@@ -99,7 +98,7 @@ pub struct MemConfig {
 
 /// Cross-socket interconnect (UPI) model, including the SGXv2 UPI Crypto
 /// Engine (UCE) that encrypts cross-NUMA enclave traffic (paper §2, §5.5).
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct UpiConfig {
     /// Extra latency in cycles for a random access to remote DRAM.
     /// Remote-local delta on 2-socket Ice Lake is ~50-60 ns ≈ 150 cycles.
@@ -135,7 +134,7 @@ pub struct UpiConfig {
 /// group boundaries and overlaps short-latency work up to `ilp_native`;
 /// enclave mode overlaps only *within* a group and pays
 /// `enclave_group_overhead` at each boundary.
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct PipelineConfig {
     /// Cycles per scalar ALU op once pipelined (superscalar issue).
     pub cycles_per_op: f64,
@@ -154,7 +153,7 @@ pub struct PipelineConfig {
 }
 
 /// Costs of crossing the enclave boundary (§4.4).
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct TransitionConfig {
     /// Cycles for an ECALL or OCALL one-way transition (EENTER/EEXIT pair
     /// amortized): TEEBench and sgx-perf report ~8k-14k cycles.
@@ -165,7 +164,7 @@ pub struct TransitionConfig {
 }
 
 /// EDMM (dynamic enclave memory) cost model (§4.4, Fig 11).
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct EdmmConfig {
     /// Cycles to dynamically add one EPC page to a running enclave:
     /// OCALL to the host, EAUG by the kernel driver, EACCEPT inside the
@@ -177,7 +176,7 @@ pub struct EdmmConfig {
 
 /// SGXv1-style EPC paging model (reproduction extension, not a paper
 /// figure): lets the suite demonstrate *why* CrkJoin won on SGXv1.
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct PagingConfig {
     /// Usable EPC bytes before paging starts (SGXv1: ~92 MB usable of
     /// 128/256 MB PRM).
@@ -188,7 +187,7 @@ pub struct PagingConfig {
 }
 
 /// Which SGX generation the machine models.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum SgxGeneration {
     /// SGXv2 (Ice Lake+): large EPC, no paging in our experiments.
     V2,
@@ -201,7 +200,7 @@ pub enum SgxGeneration {
 /// Table 1; `scaled(f)` shrinks caches and the paging threshold by `f` so
 /// experiments can run on proportionally smaller data without changing any
 /// cache-vs-data-size relationship.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct HwConfig {
     /// Human-readable profile name.
     pub name: String,

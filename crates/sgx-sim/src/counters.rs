@@ -1,12 +1,11 @@
 //! Performance counters collected by the simulator.
 
-use serde::{Deserialize, Serialize};
 
 /// Event totals across the whole machine, analogous to the hardware PMU and
 /// sgx-perf counters the paper relies on. Tests and benches use these to
 /// verify *why* a result looks the way it does (e.g. that a slowdown really
 /// comes from EPC fills and not from extra instructions).
-#[derive(Debug, Default, Clone, Serialize, Deserialize)]
+#[derive(Debug, Default, Clone)]
 pub struct Counters {
     /// Charged load/RMW accesses.
     pub loads: u64,

@@ -37,6 +37,7 @@
 //! assert!(machine.wall_cycles() > 0.0);
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod cache;

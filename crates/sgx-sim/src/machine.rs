@@ -32,7 +32,7 @@ use crate::counters::Counters;
 use crate::mem::{ExecMode, Region, RegionAlloc, Setting, SimVec};
 use crate::paging::Pager;
 use crate::sync::QueueModel;
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 
 /// Per-line transfer cost when the line is found in a given cache level
 /// during streaming (bytes-per-cycle limits of the level).
@@ -135,7 +135,7 @@ pub struct Machine {
     wall: f64,
     sealed: bool,
     seal_watermark: Vec<u64>,
-    committed_pages: HashSet<u64>,
+    committed_pages: BTreeSet<u64>,
     pager: Option<Pager>,
 }
 
@@ -164,7 +164,7 @@ impl Machine {
             wall: 0.0,
             sealed: false,
             seal_watermark: vec![0; n_regions],
-            committed_pages: HashSet::new(),
+            committed_pages: BTreeSet::new(),
             pager,
             cfg,
         }
@@ -222,6 +222,7 @@ impl Machine {
     /// to handle it).
     pub fn alloc_on<T: Copy + Default>(&mut self, len: usize, region: Region) -> SimVec<T> {
         self.try_alloc_on(len, region).unwrap_or_else(|| {
+            // sgx-lint: allow(panic-in-library) documented API contract: alloc_on panics on EPC exhaustion, try_alloc_on is the fallible twin
             panic!(
                 "EPC capacity exceeded on node {} ({} bytes per socket)",
                 region.node(),
@@ -295,9 +296,11 @@ impl Machine {
         let mut f = Some(f);
         let mut out = None;
         self.parallel(&[core_id], |core| {
+            // sgx-lint: allow(panic-in-library) FnOnce-through-Option shim; parallel() calls each worker exactly once
             let f = f.take().expect("single-core phase runs the closure once");
             out = Some(f(core));
         });
+        // sgx-lint: allow(panic-in-library) same invariant: the one-element core list ran exactly once
         out.expect("single-core closure always runs")
     }
 
@@ -566,6 +569,7 @@ impl<'m> Core<'m> {
         assert!(self.group.is_none(), "issue groups do not nest");
         self.group = Some(GroupAcc::default());
         let r = f(self);
+        // sgx-lint: allow(panic-in-library) set to Some two lines above; groups cannot nest (asserted on entry)
         let g = self.group.take().expect("group still open");
         self.close_group(g);
         r
@@ -1079,7 +1083,7 @@ impl<T: Copy> SimVec<T> {
             let hi = line_end.min(range.end);
             core.stream_touch(self.addr(i), 1, (hi - i) as u64, false, true);
             core.poison_context();
-            f(core, i, &self.as_slice()[i..hi]);
+            f(core, i, &self.as_slice_untracked()[i..hi]);
             i = hi;
         }
     }

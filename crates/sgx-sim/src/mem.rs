@@ -7,10 +7,9 @@
 //! EDMM page commits, SGXv1 paging).
 
 use crate::config::{CACHE_LINE, PAGE_SIZE};
-use serde::{Deserialize, Serialize};
 
 /// Whether the simulated CPU executes in enclave mode or natively.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum ExecMode {
     /// Normal (unprotected) execution.
     Native,
@@ -19,7 +18,7 @@ pub enum ExecMode {
 }
 
 /// Where data physically lives.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Region {
     /// Ordinary untrusted DRAM on the given NUMA node.
     Untrusted(u8),
@@ -63,7 +62,7 @@ impl Region {
 }
 
 /// The three benchmark settings of the paper (§3):
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Setting {
     /// (1) Native code, data in untrusted memory; no protection, no cost.
     PlainCpu,
@@ -186,13 +185,25 @@ impl<T: Copy> SimVec<T> {
         self.buf[i] = v;
     }
 
-    /// Uncharged view of the backing storage.
-    pub fn as_slice(&self) -> &[T] {
+    /// Uncharged view of the backing storage — **bypasses the event
+    /// stream**, so nothing read through it is priced by the cost model.
+    ///
+    /// Legitimate uses, and only these:
+    /// * test/verification code comparing results against a reference,
+    /// * data-generation/setup code outside the timed region,
+    /// * simulator internals that already charged the access another way
+    ///   (e.g. [`read_stream`](crate::Machine) batches).
+    ///
+    /// In operator hot paths this is a model-integrity bug;
+    /// `sgx-lint`'s `untracked-access` rule flags every use in operator
+    /// crates unless annotated with a reasoned allow-marker.
+    pub fn as_slice_untracked(&self) -> &[T] {
         &self.buf
     }
 
-    /// Uncharged mutable view of the backing storage (setup only).
-    pub fn as_mut_slice(&mut self) -> &mut [T] {
+    /// Uncharged mutable view of the backing storage (setup only) — same
+    /// contract and lint rule as [`SimVec::as_slice_untracked`].
+    pub fn as_mut_slice_untracked(&mut self) -> &mut [T] {
         &mut self.buf
     }
 

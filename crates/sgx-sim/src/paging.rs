@@ -7,7 +7,7 @@
 //! TEEBench and CrkJoin).
 
 use crate::config::{PagingConfig, PAGE_SIZE};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Tracks which EPC pages are resident and charges EWB/ELDU round trips on
 /// faults, using the CLOCK (second-chance) policy like the Linux SGX
@@ -17,7 +17,7 @@ pub struct Pager {
     capacity: usize,
     fault_cycles: f64,
     slots: Vec<(u64, bool)>,
-    map: HashMap<u64, usize>,
+    map: BTreeMap<u64, usize>,
     hand: usize,
     faults: u64,
 }
@@ -30,7 +30,7 @@ impl Pager {
             capacity,
             fault_cycles: cfg.fault_cycles,
             slots: Vec::with_capacity(capacity.min(1 << 20)),
-            map: HashMap::new(),
+            map: BTreeMap::new(),
             hand: 0,
             faults: 0,
         }

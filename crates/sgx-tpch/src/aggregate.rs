@@ -87,7 +87,8 @@ pub fn group_count(
 pub fn reference_group_count(rows: &SimVec<Row>, groups: usize) -> Vec<u64> {
     let mask = groups as u32 - 1;
     let mut counts = vec![0u64; groups];
-    for r in rows.as_slice() {
+    // sgx-lint: allow(untracked-access) uncharged reference oracle for verification
+    for r in rows.as_slice_untracked() {
         counts[(r.key & mask) as usize] += 1;
     }
     counts

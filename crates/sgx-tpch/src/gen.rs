@@ -260,11 +260,11 @@ mod tests {
     fn foreign_keys_are_valid() {
         let (_m, db) = db();
         let n_cust = db.customer.custkey.len() as i32;
-        assert!(db.orders.custkey.as_slice().iter().all(|&c| (1..=n_cust).contains(&c)));
+        assert!(db.orders.custkey.as_slice_untracked().iter().all(|&c| (1..=n_cust).contains(&c)));
         let n_ord = db.orders.orderkey.len() as i32;
-        assert!(db.lineitem.orderkey.as_slice().iter().all(|&o| (1..=n_ord).contains(&o)));
+        assert!(db.lineitem.orderkey.as_slice_untracked().iter().all(|&o| (1..=n_ord).contains(&o)));
         let n_part = db.part.partkey.len() as i32;
-        assert!(db.lineitem.partkey.as_slice().iter().all(|&p| (1..=n_part).contains(&p)));
+        assert!(db.lineitem.partkey.as_slice_untracked().iter().all(|&p| (1..=n_part).contains(&p)));
     }
 
     #[test]
@@ -292,14 +292,14 @@ mod tests {
     fn generation_is_deterministic() {
         let (_m1, a) = db();
         let (_m2, b) = db();
-        assert_eq!(a.lineitem.shipdate.as_slice(), b.lineitem.shipdate.as_slice());
-        assert_eq!(a.part.brand.as_slice(), b.part.brand.as_slice());
+        assert_eq!(a.lineitem.shipdate.as_slice_untracked(), b.lineitem.shipdate.as_slice_untracked());
+        assert_eq!(a.part.brand.as_slice_untracked(), b.part.brand.as_slice_untracked());
     }
 
     #[test]
     fn q6_columns_within_domain() {
         let (_m, db) = db();
-        assert!(db.lineitem.discount.as_slice().iter().all(|&d| (0..=10).contains(&d)));
+        assert!(db.lineitem.discount.as_slice_untracked().iter().all(|&d| (0..=10).contains(&d)));
         for i in 0..db.lineitem_len() {
             let q = db.lineitem.quantity.peek(i);
             let p = db.lineitem.extendedprice.peek(i);
@@ -314,14 +314,14 @@ mod tests {
         let building = db
             .customer
             .mktsegment
-            .as_slice()
+            .as_slice_untracked()
             .iter()
             .filter(|&&s| s == SEG_BUILDING)
             .count() as f64
             / db.customer.custkey.len() as f64;
         assert!((0.15..0.25).contains(&building), "BUILDING share {building}");
         // ~25% returnflag 'R' (half of the ~50% of receipts before mid-95).
-        let r = db.lineitem.returnflag.as_slice().iter().filter(|&&f| f == FLAG_R).count()
+        let r = db.lineitem.returnflag.as_slice_untracked().iter().filter(|&&f| f == FLAG_R).count()
             as f64
             / db.lineitem_len() as f64;
         assert!((0.15..0.35).contains(&r), "R share {r}");

@@ -7,6 +7,7 @@
 //! `sgx-joins`, so the §4.2 optimization can be toggled per query — the
 //! experiment behind Fig 17.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod aggregate;

@@ -199,7 +199,7 @@ mod tests {
         let (out, _) =
             select_rows(&mut m, &[0, 1], &[&key], &key, Payload::Col(&pay), &|i| i % 2 == 0);
         assert_eq!(out.len(), 500);
-        assert!(out.as_slice().iter().all(|r| r.payload == r.key * 2));
+        assert!(out.as_slice_untracked().iter().all(|r| r.payload == r.key * 2));
     }
 
     #[test]
@@ -233,7 +233,7 @@ mod tests {
         // Order within runs is preserved; run 0 comes first.
         assert_eq!(rows.peek(0).key, 1000);
         assert_eq!(rows.peek(30).key, 1050);
-        assert!(rows.as_slice().iter().all(|r| r.key == r.payload + 1000));
+        assert!(rows.as_slice_untracked().iter().all(|r| r.key == r.payload + 1000));
     }
 
     #[test]

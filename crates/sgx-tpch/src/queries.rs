@@ -134,6 +134,7 @@ pub fn q3(machine: &mut Machine, db: &TpchDb, cfg: &QueryConfig) -> QueryStats {
 
     let j1 = join(machine, &cust, &orders, cfg, false);
     ops.push(("join c⋈o", j1.wall_cycles));
+    // sgx-lint: allow(panic-in-library) join() always materializes when asked; a None output is a simulator bug, not an input condition
     let jt1 = j1.output.expect("materializing join returns output");
     let (co, t) = retuple(machine, cores, &jt1, &j1.output_runs, &|t| Row {
         key: t.s_payload,
@@ -191,6 +192,7 @@ pub fn q10(machine: &mut Machine, db: &TpchDb, cfg: &QueryConfig) -> QueryStats 
 
     let j1 = join(machine, &cust, &orders, cfg, false);
     ops.push(("join c⋈o", j1.wall_cycles));
+    // sgx-lint: allow(panic-in-library) join() always materializes when asked; a None output is a simulator bug, not an input condition
     let jt1 = j1.output.expect("materializing join returns output");
     // key: orderkey, payload: the customer's nationkey.
     let (co, t) = retuple(machine, cores, &jt1, &j1.output_runs, &|t| Row {
@@ -211,6 +213,7 @@ pub fn q10(machine: &mut Machine, db: &TpchDb, cfg: &QueryConfig) -> QueryStats 
 
     let j2 = join(machine, &co, &line, cfg, false);
     ops.push(("join co⋈l", j2.wall_cycles));
+    // sgx-lint: allow(panic-in-library) join() always materializes when asked; a None output is a simulator bug, not an input condition
     let jt2 = j2.output.expect("materializing join returns output");
     // key: nationkey carried from the customer side.
     let (col, t) = retuple(machine, cores, &jt2, &j2.output_runs, &|t| Row {
@@ -355,6 +358,7 @@ pub fn q19(machine: &mut Machine, db: &TpchDb, cfg: &QueryConfig) -> QueryStats 
 
     let j = join(machine, &part, &line, cfg, false);
     ops.push(("join p⋈l", j.wall_cycles));
+    // sgx-lint: allow(panic-in-library) join() always materializes when asked; a None output is a simulator bug, not an input condition
     let jt = j.output.expect("materializing join returns output");
 
     // Post-join disjunct evaluation: gather the part attributes (random
@@ -475,15 +479,15 @@ pub fn reference_q1(db: &TpchDb) -> Vec<u64> {
 
 /// Uncharged reference counts for all four queries (tests).
 pub fn reference_count(db: &TpchDb, q: Query) -> u64 {
-    use std::collections::{HashMap, HashSet};
+    use std::collections::{BTreeMap, BTreeSet};
     match q {
         Query::Q3 => {
             let cutoff = date(1995, 3, 15);
-            let building: HashSet<i32> = (0..db.customer.custkey.len())
+            let building: BTreeSet<i32> = (0..db.customer.custkey.len())
                 .filter(|&i| db.customer.mktsegment.peek(i) == SEG_BUILDING)
                 .map(|i| db.customer.custkey.peek(i))
                 .collect();
-            let orders: HashSet<i32> = (0..db.orders.orderkey.len())
+            let orders: BTreeSet<i32> = (0..db.orders.orderkey.len())
                 .filter(|&i| {
                     db.orders.orderdate.peek(i) < cutoff
                         && building.contains(&db.orders.custkey.peek(i))
@@ -499,10 +503,10 @@ pub fn reference_count(db: &TpchDb, q: Query) -> u64 {
         }
         Query::Q10 => {
             let (lo, hi) = (date(1993, 10, 1), date(1994, 1, 1));
-            let nation_of_cust: HashMap<i32, i32> = (0..db.customer.custkey.len())
+            let nation_of_cust: BTreeMap<i32, i32> = (0..db.customer.custkey.len())
                 .map(|i| (db.customer.custkey.peek(i), db.customer.nationkey.peek(i)))
                 .collect();
-            let orders: HashSet<i32> = (0..db.orders.orderkey.len())
+            let orders: BTreeSet<i32> = (0..db.orders.orderkey.len())
                 .filter(|&i| {
                     let d = db.orders.orderdate.peek(i);
                     d >= lo
