@@ -1,0 +1,56 @@
+#!/usr/bin/env sh
+# Full local CI: build, tests, model-integrity lint, and an end-to-end
+# smoke of the resilient all_figures harness — including a negative check
+# that an injected figure failure is isolated, recorded in the manifest,
+# and turned into a nonzero exit.
+#
+# Usage: ./ci.sh
+set -eu
+cd "$(dirname "$0")"
+
+echo "== ci: cargo build --release"
+cargo build --release
+
+echo "== ci: cargo test -q"
+cargo test -q
+
+echo "== ci: lint"
+./lint.sh
+
+BIN=target/release/all_figures
+MANIFEST=target/figures/manifest.json
+
+echo "== ci: all_figures smoke (tiny scale)"
+"$BIN" --scale 256 --reps 1 >/dev/null
+REGISTERED=$("$BIN" --list | wc -l)
+OK=$(grep -c '"status": "ok"' "$MANIFEST")
+if [ "$OK" -ne "$REGISTERED" ]; then
+    echo "ci: FAIL — manifest has $OK ok jobs, expected all $REGISTERED" >&2
+    exit 1
+fi
+if grep -q '"status": "failed"' "$MANIFEST" || grep -q '"status": "skipped"' "$MANIFEST"; then
+    echo "ci: FAIL — clean run must have no failed/skipped manifest entries" >&2
+    exit 1
+fi
+
+echo "== ci: all_figures negative check (injected failure)"
+rm -f target/figures/fig05.json
+if ALL_FIGURES_FAIL=fig07 "$BIN" --only fig05,fig07 --scale 256 --reps 1 >/dev/null 2>&1; then
+    echo "ci: FAIL — injected figure failure must exit nonzero" >&2
+    exit 1
+fi
+FAILED=$(grep -c '"status": "failed"' "$MANIFEST")
+if [ "$FAILED" -ne 1 ]; then
+    echo "ci: FAIL — expected exactly one failed manifest entry, got $FAILED" >&2
+    exit 1
+fi
+if ! grep -q '"id": "fig07"' "$MANIFEST"; then
+    echo "ci: FAIL — manifest must name the failed job" >&2
+    exit 1
+fi
+if [ ! -f target/figures/fig05.json ]; then
+    echo "ci: FAIL — figures before the failure must still be emitted" >&2
+    exit 1
+fi
+
+echo "== ci: OK"

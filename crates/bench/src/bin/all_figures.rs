@@ -1,37 +1,181 @@
-//! Regenerate every table and figure of the paper in order.
+//! Regenerate every table and figure of the paper — resiliently.
 //!
-//! Options: `--full` (paper-exact sizes), `--reps N`, `--scale N`.
+//! Each figure job runs behind `catch_unwind`: a panicking experiment (a
+//! violated shape assertion, a model regression) is recorded and the run
+//! continues, so one broken figure no longer costs the whole suite. The
+//! outcome of every registered job lands in `target/figures/manifest.json`
+//! (schema `sgx-bench-manifest/1`, byte-stable), and the process exits
+//! nonzero if anything failed.
+//!
+//! Options:
+//!   `--full` / `--reps N` / `--scale N`   profile selection (as before)
+//!   `--only id[,id...]`                   run only the named jobs
+//!   `--skip id[,id...]`                   exclude the named jobs
+//!   `--retry-failed`                      `--only` = failed ids of the last manifest
+//!   `--list`                              print registered job ids and exit
 
-use sgx_bench_core::experiments as ex;
+use std::panic::{self, AssertUnwindSafe};
+use std::process::ExitCode;
+// Wall-clock timing is confined to this harness binary: it feeds the
+// manifest's `seconds` diagnostics, never a simulated measurement.
+// sgx-lint: allow(nondeterminism) harness-only wall-clock for manifest timings
+use std::time::Instant as WallClock;
+
+use sgx_bench_core::runner::{registry, JobFilter, JobStatus, Manifest, ManifestEntry};
 use sgx_bench_core::RunOpts;
 
-fn main() {
-    let profile = RunOpts::parse().profile();
+const MANIFEST_PATH: &str = "target/figures/manifest.json";
+
+/// Split the harness-specific flags out of `argv`; the remainder goes to
+/// `RunOpts::parse_from` (which ignores what it does not know).
+fn parse_harness_args(
+    args: impl IntoIterator<Item = String>,
+) -> Result<(JobFilter, bool, bool, Vec<String>), String> {
+    let mut filter = JobFilter::default();
+    let mut list = false;
+    let mut retry_failed = false;
+    let mut rest = Vec::new();
+    let mut it = args.into_iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--only" | "--skip" => {
+                let val = it.next().ok_or_else(|| format!("{arg} needs a job id list"))?;
+                let dst = if arg == "--only" { &mut filter.only } else { &mut filter.skip };
+                dst.extend(
+                    val.split(',').map(str::trim).filter(|s| !s.is_empty()).map(String::from),
+                );
+            }
+            "--list" => list = true,
+            "--retry-failed" => retry_failed = true,
+            _ => rest.push(arg),
+        }
+    }
+    Ok((filter, list, retry_failed, rest))
+}
+
+fn main() -> ExitCode {
+    let parsed = parse_harness_args(std::env::args().skip(1));
+    let (mut filter, list, retry_failed, rest) = match parsed {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let jobs = registry();
+    if list {
+        for job in &jobs {
+            println!("{}", job.id);
+        }
+        return ExitCode::SUCCESS;
+    }
+    if retry_failed {
+        let prev = std::fs::read_to_string(MANIFEST_PATH)
+            .map_err(|e| e.to_string())
+            .and_then(|t| Manifest::from_json(&t));
+        match prev {
+            Ok(prev) => {
+                let failed = prev.failed_ids();
+                if failed.is_empty() {
+                    eprintln!("--retry-failed: previous manifest has no failed jobs; nothing to do");
+                    return ExitCode::SUCCESS;
+                }
+                eprintln!("--retry-failed: re-running {}", failed.join(", "));
+                filter.only.extend(failed);
+            }
+            Err(e) => {
+                eprintln!("error: --retry-failed could not read {MANIFEST_PATH}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let unknown = filter.unknown_ids(&jobs);
+    if !unknown.is_empty() {
+        eprintln!("error: unknown job id(s): {} (see --list)", unknown.join(", "));
+        return ExitCode::FAILURE;
+    }
+
+    let profile = RunOpts::parse_from(rest).profile();
     eprintln!("profile: {} (data 1/{}, {} reps)", profile.hw.name, profile.data_div, profile.reps);
-    ex::table1(&profile).emit();
-    ex::fig01_intro(&profile).emit();
-    ex::fig03_overview(&profile).emit();
-    let (a, b) = ex::fig04_pht(&profile);
-    a.emit();
-    b.emit();
-    ex::fig05_random_access(&profile).emit();
-    ex::fig06_rho_breakdown(&profile).emit();
-    ex::fig07_histogram(&profile).emit();
-    ex::fig08_optimized(&profile).emit();
-    ex::fig09_numa_join(&profile).emit();
-    ex::fig10_queues(&profile).emit();
-    ex::fig11_edmm(&profile).emit();
-    ex::fig12_scan_single(&profile).emit();
-    ex::fig13_scan_scaling(&profile).emit();
-    ex::fig14_selectivity(&profile).emit();
-    ex::fig15_linear(&profile).emit();
-    ex::fig16_numa_scan(&profile).emit();
-    ex::fig17_tpch(&profile).emit();
-    ex::sgxv1_ablation(&profile).emit();
-    ex::ext_skew(&profile).emit();
-    ex::ext_aggregation(&profile).emit();
-    ex::ext_dual_socket_scan(&profile).emit();
-    ex::ext_packed_scan(&profile).emit();
-    ex::ablation_swwcb(&profile).emit();
-    ex::ablation_radix_bits(&profile).emit();
+
+    // Deterministic failure hook for the CI negative test: the job named in
+    // ALL_FIGURES_FAIL panics before its experiment runs.
+    let injected_failure = std::env::var("ALL_FIGURES_FAIL").ok();
+
+    let mut manifest = Manifest::default();
+    for job in &jobs {
+        if !filter.selects(job.id) {
+            manifest.entries.push(ManifestEntry {
+                id: job.id.to_string(),
+                status: JobStatus::Skipped,
+                seconds: 0.0,
+                error: None,
+                outputs: Vec::new(),
+            });
+            continue;
+        }
+        eprintln!("[{}] running...", job.id);
+        let started = WallClock::now();
+        let run = job.run;
+        let outcome = panic::catch_unwind(AssertUnwindSafe(|| {
+            if injected_failure.as_deref() == Some(job.id) {
+                panic!("injected failure via ALL_FIGURES_FAIL={}", job.id);
+            }
+            run(&profile)
+        }));
+        let seconds = started.elapsed().as_secs_f64();
+        match outcome {
+            Ok(figures) => {
+                let outputs: Vec<String> = figures.iter().map(|f| f.id.clone()).collect();
+                for figure in &figures {
+                    figure.emit();
+                }
+                eprintln!("[{}] ok ({seconds:.2}s)", job.id);
+                manifest.entries.push(ManifestEntry {
+                    id: job.id.to_string(),
+                    status: JobStatus::Ok,
+                    seconds,
+                    error: None,
+                    outputs,
+                });
+            }
+            Err(cause) => {
+                let message = if let Some(s) = cause.downcast_ref::<&str>() {
+                    (*s).to_string()
+                } else if let Some(s) = cause.downcast_ref::<String>() {
+                    s.clone()
+                } else {
+                    "non-string panic payload".to_string()
+                };
+                eprintln!("[{}] FAILED ({seconds:.2}s): {message}", job.id);
+                manifest.entries.push(ManifestEntry {
+                    id: job.id.to_string(),
+                    status: JobStatus::Failed,
+                    seconds,
+                    error: Some(message),
+                    outputs: Vec::new(),
+                });
+            }
+        }
+    }
+
+    let (n_ok, n_failed, n_skipped) = (
+        manifest.count(JobStatus::Ok),
+        manifest.count(JobStatus::Failed),
+        manifest.count(JobStatus::Skipped),
+    );
+    let write = std::fs::create_dir_all("target/figures")
+        .map_err(|e| e.to_string())
+        .and_then(|()| std::fs::write(MANIFEST_PATH, manifest.to_json()).map_err(|e| e.to_string()));
+    if let Err(e) = write {
+        eprintln!("error: could not write {MANIFEST_PATH}: {e}");
+        return ExitCode::FAILURE;
+    }
+    eprintln!("manifest: {MANIFEST_PATH} ({n_ok} ok, {n_failed} failed, {n_skipped} skipped)");
+    if n_failed > 0 {
+        eprintln!("failed jobs: {}", manifest.failed_ids().join(", "));
+        eprintln!("re-run just these with: all_figures --retry-failed");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
 }

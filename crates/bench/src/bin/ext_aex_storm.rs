@@ -1,0 +1,12 @@
+//! Fault-injection extension: join + scan throughput under deterministic
+//! AEX interrupt storms and transient OCALL failures.
+//!
+//! Options: `--full` (paper-exact sizes), `--reps N`, `--scale N`.
+
+use sgx_bench_core::experiments::ext_aex_storm;
+use sgx_bench_core::RunOpts;
+
+fn main() {
+    let profile = RunOpts::parse().profile();
+    ext_aex_storm(&profile).emit();
+}

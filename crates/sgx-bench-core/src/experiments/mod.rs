@@ -9,6 +9,7 @@
 //! crossovers) hold.
 
 pub mod extensions;
+pub mod faults;
 pub mod joins;
 pub mod micro;
 pub mod scans;
@@ -19,6 +20,7 @@ pub use extensions::{
     ablation_radix_bits, ablation_swwcb, ext_aggregation, ext_dual_socket_scan,
     ext_packed_scan, ext_skew,
 };
+pub use faults::ext_aex_storm;
 pub use joins::{
     fig01_intro, fig03_overview, fig04_pht, fig06_rho_breakdown, fig08_optimized,
     fig09_numa_join, fig10_queues, fig11_edmm, sgxv1_ablation,

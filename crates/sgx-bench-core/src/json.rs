@@ -115,7 +115,7 @@ impl Value {
 
     /// Parse a JSON document. Returns a message with byte offset on error.
     pub fn parse(input: &str) -> Result<Value, String> {
-        let mut p = Parser { bytes: input.as_bytes(), pos: 0 };
+        let mut p = Parser { bytes: input.as_bytes(), pos: 0, depth: 0 };
         p.skip_ws();
         let v = p.value()?;
         p.skip_ws();
@@ -125,6 +125,11 @@ impl Value {
         Ok(v)
     }
 }
+
+/// Maximum container nesting the recursive-descent parser accepts. Figure
+/// documents are 4 levels deep; without a bound, adversarial input like
+/// `[[[[…` overflows the stack — an abort no caller can catch.
+const MAX_DEPTH: usize = 128;
 
 fn indent(out: &mut String, depth: usize) {
     for _ in 0..depth {
@@ -164,6 +169,7 @@ fn write_escaped(out: &mut String, s: &str) {
 struct Parser<'a> {
     bytes: &'a [u8],
     pos: usize,
+    depth: usize,
 }
 
 impl Parser<'_> {
@@ -200,7 +206,11 @@ impl Parser<'_> {
     }
 
     fn value(&mut self) -> Result<Value, String> {
-        match self.peek() {
+        if self.depth >= MAX_DEPTH {
+            return Err(format!("nesting deeper than {MAX_DEPTH} at byte {}", self.pos));
+        }
+        self.depth += 1;
+        let v = match self.peek() {
             Some(b'n') => self.literal("null", Value::Null),
             Some(b't') => self.literal("true", Value::Bool(true)),
             Some(b'f') => self.literal("false", Value::Bool(false)),
@@ -209,7 +219,9 @@ impl Parser<'_> {
             Some(b'{') => self.object(),
             Some(b) if b == b'-' || b.is_ascii_digit() => self.number(),
             _ => Err(format!("unexpected input at byte {}", self.pos)),
-        }
+        };
+        self.depth -= 1;
+        v
     }
 
     fn array(&mut self) -> Result<Value, String> {
@@ -393,6 +405,17 @@ mod tests {
         assert!(Value::parse("true false").is_err());
         assert!(Value::parse("\"unterminated").is_err());
         assert!(Value::parse("nope").is_err());
+    }
+
+    #[test]
+    fn parser_bounds_nesting_depth() {
+        // Unclosed and balanced deep nesting both return Err instead of
+        // recursing to a stack overflow.
+        assert!(Value::parse(&"[".repeat(100_000)).is_err());
+        let balanced = format!("{}1.0{}", "[".repeat(300), "]".repeat(300));
+        assert!(Value::parse(&balanced).is_err());
+        let shallow = format!("{}1.0{}", "[".repeat(64), "]".repeat(64));
+        assert!(Value::parse(&shallow).is_ok());
     }
 
     #[test]

@@ -40,6 +40,7 @@ pub mod experiments;
 pub mod json;
 pub mod profiles;
 pub mod report;
+pub mod runner;
 
 pub use profiles::{BenchProfile, RunOpts};
 pub use report::{Figure, Series, Stat};

@@ -219,12 +219,26 @@ impl Figure {
                 Ok(Series { label, points })
             })
             .collect::<Result<Vec<_>, String>>()?;
+        let xs = str_list("xs")?;
+        // Enforce the push_series invariant on the parse path too: a
+        // series shorter than the x-axis would otherwise index out of
+        // bounds later, in render().
+        for s in &series {
+            if s.points.len() != xs.len() {
+                return Err(format!(
+                    "series {:?} has {} points for {} x ticks",
+                    s.label,
+                    s.points.len(),
+                    xs.len()
+                ));
+            }
+        }
         Ok(Figure {
             id: str_field("id")?,
             title: str_field("title")?,
             x_label: str_field("x_label")?,
             unit: str_field("unit")?,
-            xs: str_list("xs")?,
+            xs,
             series,
             notes: str_list("notes")?,
         })
@@ -303,5 +317,13 @@ mod tests {
     fn mismatched_series_rejected() {
         let mut f = Figure::new("f", "t", "x", "u").with_xs(["a", "b"]);
         f.push_series("s", vec![Some(Stat::exact(1.0))]);
+    }
+
+    #[test]
+    fn from_json_rejects_series_shorter_than_axis() {
+        // Regression: this used to parse fine and then panic in render().
+        let text = r#"{"id":"f","title":"t","x_label":"x","unit":"u","xs":["a","b"],"series":[{"label":"s","points":[null]}],"notes":[]}"#;
+        let err = Figure::from_json(text).unwrap_err();
+        assert!(err.contains("1 points for 2 x ticks"), "got: {err}");
     }
 }

@@ -1,0 +1,332 @@
+//! Experiment registry and run-manifest model for the resilient
+//! `all_figures` harness.
+//!
+//! The harness binary owns process-level concerns (panic isolation via
+//! `catch_unwind`, wall-clock timing, exit codes); this module owns the
+//! deterministic parts: the ordered registry of every figure job, the
+//! `--only`/`--skip` selection logic, and the `manifest.json` data model —
+//! serialized through [`crate::json`] so equal run outcomes always produce
+//! byte-identical manifests.
+
+use crate::json::Value;
+use crate::profiles::BenchProfile;
+use crate::report::Figure;
+use crate::experiments as ex;
+
+/// One registered figure job: an id (usually the figure id; `fig04`
+/// produces two figures) and the experiment function behind it.
+pub struct FigureJob {
+    /// Stable job identifier used by `--only`/`--skip` and the manifest.
+    pub id: &'static str,
+    /// Runs the experiment(s) and returns the figure(s) to emit.
+    pub run: fn(&BenchProfile) -> Vec<Figure>,
+}
+
+/// Every table/figure the suite can produce, in the paper's order.
+pub fn registry() -> Vec<FigureJob> {
+    fn one(f: Figure) -> Vec<Figure> {
+        vec![f]
+    }
+    vec![
+        FigureJob { id: "table1", run: |p| one(ex::table1(p)) },
+        FigureJob { id: "fig01", run: |p| one(ex::fig01_intro(p)) },
+        FigureJob { id: "fig03", run: |p| one(ex::fig03_overview(p)) },
+        FigureJob {
+            id: "fig04",
+            run: |p| {
+                let (a, b) = ex::fig04_pht(p);
+                vec![a, b]
+            },
+        },
+        FigureJob { id: "fig05", run: |p| one(ex::fig05_random_access(p)) },
+        FigureJob { id: "fig06", run: |p| one(ex::fig06_rho_breakdown(p)) },
+        FigureJob { id: "fig07", run: |p| one(ex::fig07_histogram(p)) },
+        FigureJob { id: "fig08", run: |p| one(ex::fig08_optimized(p)) },
+        FigureJob { id: "fig09", run: |p| one(ex::fig09_numa_join(p)) },
+        FigureJob { id: "fig10", run: |p| one(ex::fig10_queues(p)) },
+        FigureJob { id: "fig11", run: |p| one(ex::fig11_edmm(p)) },
+        FigureJob { id: "fig12", run: |p| one(ex::fig12_scan_single(p)) },
+        FigureJob { id: "fig13", run: |p| one(ex::fig13_scan_scaling(p)) },
+        FigureJob { id: "fig14", run: |p| one(ex::fig14_selectivity(p)) },
+        FigureJob { id: "fig15", run: |p| one(ex::fig15_linear(p)) },
+        FigureJob { id: "fig16", run: |p| one(ex::fig16_numa_scan(p)) },
+        FigureJob { id: "fig17", run: |p| one(ex::fig17_tpch(p)) },
+        FigureJob { id: "ablation_sgxv1", run: |p| one(ex::sgxv1_ablation(p)) },
+        FigureJob { id: "ext_skew", run: |p| one(ex::ext_skew(p)) },
+        FigureJob { id: "ext_aggregation", run: |p| one(ex::ext_aggregation(p)) },
+        FigureJob { id: "ext_dual_socket", run: |p| one(ex::ext_dual_socket_scan(p)) },
+        FigureJob { id: "ext_packed", run: |p| one(ex::ext_packed_scan(p)) },
+        FigureJob { id: "ablation_swwcb", run: |p| one(ex::ablation_swwcb(p)) },
+        FigureJob { id: "ablation_radix_bits", run: |p| one(ex::ablation_radix_bits(p)) },
+        FigureJob { id: "ext_aex_storm", run: |p| one(ex::ext_aex_storm(p)) },
+    ]
+}
+
+/// Outcome of one figure job in a harness run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobStatus {
+    /// The job ran to completion and its figures were emitted.
+    Ok,
+    /// The job panicked; the harness isolated it and moved on.
+    Failed,
+    /// The job was excluded by `--only`/`--skip`.
+    Skipped,
+}
+
+impl JobStatus {
+    /// Manifest string form.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            JobStatus::Ok => "ok",
+            JobStatus::Failed => "failed",
+            JobStatus::Skipped => "skipped",
+        }
+    }
+
+    fn parse(s: &str) -> Result<JobStatus, String> {
+        match s {
+            "ok" => Ok(JobStatus::Ok),
+            "failed" => Ok(JobStatus::Failed),
+            "skipped" => Ok(JobStatus::Skipped),
+            other => Err(format!("unknown job status {other:?}")),
+        }
+    }
+}
+
+/// Per-job record in the manifest.
+#[derive(Debug, Clone)]
+pub struct ManifestEntry {
+    /// Job id from the [`registry`].
+    pub id: String,
+    /// What happened.
+    pub status: JobStatus,
+    /// Wall-clock duration in seconds (0 for skipped jobs), rounded to
+    /// milliseconds so the serialization is stable.
+    pub seconds: f64,
+    /// Panic message for failed jobs.
+    pub error: Option<String>,
+    /// Ids of the figures the job emitted (e.g. `fig04` → `fig04a`,
+    /// `fig04b`).
+    pub outputs: Vec<String>,
+}
+
+/// The harness run record written to `target/figures/manifest.json`: one
+/// entry per registered job, in registry order, so a later invocation can
+/// resume with `--only` over the failed ids.
+#[derive(Debug, Clone, Default)]
+pub struct Manifest {
+    /// Per-job outcomes in registry order.
+    pub entries: Vec<ManifestEntry>,
+}
+
+impl Manifest {
+    /// Number of entries with the given status.
+    pub fn count(&self, status: JobStatus) -> usize {
+        self.entries.iter().filter(|e| e.status == status).count()
+    }
+
+    /// Ids of the failed entries (the `--retry-failed` work list).
+    pub fn failed_ids(&self) -> Vec<String> {
+        self.entries
+            .iter()
+            .filter(|e| e.status == JobStatus::Failed)
+            .map(|e| e.id.clone())
+            .collect()
+    }
+
+    /// Serialize to deterministic pretty JSON.
+    pub fn to_json(&self) -> String {
+        let entry = |e: &ManifestEntry| {
+            Value::Obj(vec![
+                ("id".into(), Value::Str(e.id.clone())),
+                ("status".into(), Value::Str(e.status.as_str().into())),
+                ("seconds".into(), Value::Num((e.seconds * 1000.0).round() / 1000.0)),
+                (
+                    "error".into(),
+                    e.error.as_ref().map_or(Value::Null, |m| Value::Str(m.clone())),
+                ),
+                (
+                    "outputs".into(),
+                    Value::Arr(e.outputs.iter().map(|o| Value::Str(o.clone())).collect()),
+                ),
+            ])
+        };
+        Value::Obj(vec![
+            ("schema".into(), Value::Str("sgx-bench-manifest/1".into())),
+            ("jobs".into(), Value::Arr(self.entries.iter().map(entry).collect())),
+            ("n_ok".into(), Value::Num(self.count(JobStatus::Ok) as f64)),
+            ("n_failed".into(), Value::Num(self.count(JobStatus::Failed) as f64)),
+            ("n_skipped".into(), Value::Num(self.count(JobStatus::Skipped) as f64)),
+        ])
+        .pretty()
+    }
+
+    /// Parse a manifest previously written by [`Manifest::to_json`].
+    pub fn from_json(text: &str) -> Result<Manifest, String> {
+        let v = Value::parse(text)?;
+        let schema = v
+            .get("schema")
+            .and_then(Value::as_str)
+            .ok_or_else(|| "manifest missing \"schema\"".to_string())?;
+        if schema != "sgx-bench-manifest/1" {
+            return Err(format!("unsupported manifest schema {schema:?}"));
+        }
+        let jobs = v
+            .get("jobs")
+            .and_then(Value::as_arr)
+            .ok_or_else(|| "manifest missing \"jobs\" array".to_string())?;
+        let entries = jobs
+            .iter()
+            .map(|j| {
+                let field = |key: &str| {
+                    j.get(key)
+                        .and_then(Value::as_str)
+                        .map(str::to_string)
+                        .ok_or_else(|| format!("manifest job missing string field {key:?}"))
+                };
+                let outputs = j
+                    .get("outputs")
+                    .and_then(Value::as_arr)
+                    .ok_or_else(|| "manifest job missing \"outputs\"".to_string())?
+                    .iter()
+                    .map(|o| {
+                        o.as_str()
+                            .map(str::to_string)
+                            .ok_or_else(|| "non-string output id".to_string())
+                    })
+                    .collect::<Result<Vec<_>, String>>()?;
+                Ok(ManifestEntry {
+                    id: field("id")?,
+                    status: JobStatus::parse(&field("status")?)?,
+                    seconds: j
+                        .get("seconds")
+                        .and_then(Value::as_f64)
+                        .ok_or_else(|| "manifest job missing \"seconds\"".to_string())?,
+                    error: match j.get("error") {
+                        Some(Value::Str(m)) => Some(m.clone()),
+                        Some(Value::Null) | None => None,
+                        Some(_) => return Err("manifest \"error\" must be string or null".into()),
+                    },
+                    outputs,
+                })
+            })
+            .collect::<Result<Vec<_>, String>>()?;
+        Ok(Manifest { entries })
+    }
+}
+
+/// `--only`/`--skip` selection. `only` empty means "everything"; `skip`
+/// always wins over `only`.
+#[derive(Debug, Clone, Default)]
+pub struct JobFilter {
+    /// Job ids to run exclusively (empty = all).
+    pub only: Vec<String>,
+    /// Job ids to exclude.
+    pub skip: Vec<String>,
+}
+
+impl JobFilter {
+    /// Should the job with this id run?
+    pub fn selects(&self, id: &str) -> bool {
+        if self.skip.iter().any(|s| s == id) {
+            return false;
+        }
+        self.only.is_empty() || self.only.iter().any(|o| o == id)
+    }
+
+    /// Ids in `only`/`skip` that match no registered job — surfaced as a
+    /// usage error so a typo'd `--only fig7` cannot silently run nothing.
+    pub fn unknown_ids(&self, registry: &[FigureJob]) -> Vec<String> {
+        self.only
+            .iter()
+            .chain(self.skip.iter())
+            .filter(|id| !registry.iter().any(|j| j.id == id.as_str()))
+            .cloned()
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_ids_are_unique_and_complete() {
+        let jobs = registry();
+        assert_eq!(jobs.len(), 25);
+        for (i, a) in jobs.iter().enumerate() {
+            for b in &jobs[i + 1..] {
+                assert_ne!(a.id, b.id, "duplicate job id");
+            }
+        }
+        assert!(jobs.iter().any(|j| j.id == "ext_aex_storm"));
+    }
+
+    #[test]
+    fn manifest_roundtrips_byte_identically() {
+        let m = Manifest {
+            entries: vec![
+                ManifestEntry {
+                    id: "fig04".into(),
+                    status: JobStatus::Ok,
+                    seconds: 1.23456,
+                    error: None,
+                    outputs: vec!["fig04a".into(), "fig04b".into()],
+                },
+                ManifestEntry {
+                    id: "fig07".into(),
+                    status: JobStatus::Failed,
+                    seconds: 0.5,
+                    error: Some("panicked: shape assertion".into()),
+                    outputs: vec![],
+                },
+                ManifestEntry {
+                    id: "fig08".into(),
+                    status: JobStatus::Skipped,
+                    seconds: 0.0,
+                    error: None,
+                    outputs: vec![],
+                },
+            ],
+        };
+        let j = m.to_json();
+        let back = Manifest::from_json(&j).expect("roundtrip");
+        assert_eq!(back.entries.len(), 3);
+        assert_eq!(back.count(JobStatus::Ok), 1);
+        assert_eq!(back.count(JobStatus::Failed), 1);
+        assert_eq!(back.failed_ids(), vec!["fig07".to_string()]);
+        assert_eq!(back.entries[1].error.as_deref(), Some("panicked: shape assertion"));
+        // Seconds rounded to ms on write.
+        assert!((back.entries[0].seconds - 1.235).abs() < 1e-9);
+        assert_eq!(back.to_json(), j, "manifest serialization must be byte-stable");
+    }
+
+    #[test]
+    fn from_json_rejects_malformed_manifests() {
+        assert!(Manifest::from_json("{}").is_err());
+        assert!(Manifest::from_json("{\"schema\": \"other/9\", \"jobs\": []}").is_err());
+        let bad_status = r#"{"schema": "sgx-bench-manifest/1", "jobs": [
+            {"id": "x", "status": "meh", "seconds": 0.0, "error": null, "outputs": []}
+        ]}"#;
+        assert!(Manifest::from_json(bad_status).is_err());
+    }
+
+    #[test]
+    fn filter_semantics() {
+        let jobs = registry();
+        let all = JobFilter::default();
+        assert!(all.selects("fig05"));
+        assert!(all.unknown_ids(&jobs).is_empty());
+        let only = JobFilter { only: vec!["fig05".into(), "fig07".into()], skip: vec![] };
+        assert!(only.selects("fig05"));
+        assert!(!only.selects("fig06"));
+        let skip = JobFilter { only: vec![], skip: vec!["fig05".into()] };
+        assert!(!skip.selects("fig05"));
+        assert!(skip.selects("fig06"));
+        // skip beats only; unknown ids are reported.
+        let both = JobFilter { only: vec!["fig05".into()], skip: vec!["fig05".into()] };
+        assert!(!both.selects("fig05"));
+        let typo = JobFilter { only: vec!["fig7".into()], skip: vec![] };
+        assert_eq!(typo.unknown_ids(&jobs), vec!["fig7".to_string()]);
+    }
+}

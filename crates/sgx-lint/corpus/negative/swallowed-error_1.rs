@@ -1,0 +1,6 @@
+// fmt::Write into a String cannot fail; discarding the unit-ish Result
+// is the standard render-buffer idiom.
+pub fn render_row(out: &mut String, label: &str, v: f64) {
+    use std::fmt::Write as _;
+    let _ = writeln!(out, "{label}: {v:.3}");
+}

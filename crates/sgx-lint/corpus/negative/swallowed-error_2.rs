@@ -1,0 +1,5 @@
+// `.ok()` that feeds a binding converts the Result; nothing is swallowed.
+pub fn reps_from(arg: &str) -> usize {
+    let parsed = arg.parse().ok();
+    parsed.unwrap_or(10)
+}

@@ -1,0 +1,5 @@
+// Charged-access discard: the point of `let _ = v.get(..)` is the cache
+// charge, and `get` is infallible — no error exists to swallow.
+pub fn touch(c: &mut Core, v: &SimVec<u64>, i: usize) {
+    let _ = v.get(c, i);
+}

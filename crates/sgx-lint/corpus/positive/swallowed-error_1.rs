@@ -1,0 +1,5 @@
+// Discarded parse: a malformed radix-bits knob is silently ignored and
+// the join runs with the default, hiding the config error.
+pub fn apply_radix_bits(cfg: &mut JoinConfig, arg: &str) {
+    let _ = arg.parse::<u32>().map(|b| cfg.radix_bits = b);
+}

@@ -1,0 +1,5 @@
+// Discarded figure write: the report silently vanishes when the target
+// directory is missing or read-only.
+pub fn persist(path: &std::path::Path, json: &str) {
+    let _ = std::fs::write(path, json);
+}

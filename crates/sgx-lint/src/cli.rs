@@ -49,7 +49,7 @@ pub fn run(args: impl Iterator<Item = String>) -> ExitCode {
             },
             "--help" | "-h" => {
                 println!(
-                    "usage: sgx-lint [--json] [paths...]\n       sgx-lint --score-corpus <dir>\n\nLints workspace Rust sources for model-integrity violations\n(untracked-access, nondeterminism, counter-truncation,\npanic-in-library, unsafe-code). Default scan root: crates"
+                    "usage: sgx-lint [--json] [paths...]\n       sgx-lint --score-corpus <dir>\n\nLints workspace Rust sources for model-integrity violations\n(untracked-access, nondeterminism, counter-truncation,\npanic-in-library, unsafe-code, swallowed-error).\nDefault scan root: crates"
                 );
                 return ExitCode::SUCCESS;
             }

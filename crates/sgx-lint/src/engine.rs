@@ -1,16 +1,17 @@
-//! Rule engine: applies the five model-integrity rules to a tokenized
+//! Rule engine: applies the six model-integrity rules to a tokenized
 //! file, honoring `#[cfg(test)]` regions and allow-markers.
 
 use crate::tokenizer::{tokenize, Comment, Tok, TokKind};
 use std::collections::BTreeMap;
 
 /// The rule names, in reporting order.
-pub const RULES: [&str; 5] = [
+pub const RULES: [&str; 6] = [
     "untracked-access",
     "nondeterminism",
     "counter-truncation",
     "panic-in-library",
     "unsafe-code",
+    "swallowed-error",
 ];
 
 /// Pseudo-rule reported for malformed/unknown allow-markers. Not
@@ -153,6 +154,83 @@ fn test_mask(toks: &[Tok]) -> Vec<bool> {
 /// Narrow integer types whose `as` casts truncate u64 counters.
 const NARROW_INTS: [&str; 8] = ["u8", "u16", "u32", "i8", "i16", "i32", "usize", "isize"];
 
+/// Method/function names that conventionally return `Result` in this
+/// workspace and std — discarding them with `let _ =` swallows the error.
+/// Names like `get` that are usually infallible are deliberately absent;
+/// the rule trades recall for a zero false-positive corpus.
+const FALLIBLE_CALLS: [&str; 16] = [
+    "parse",
+    "write",
+    "write_all",
+    "writeln",
+    "flush",
+    "sync_all",
+    "create_dir_all",
+    "remove_file",
+    "remove_dir_all",
+    "rename",
+    "copy",
+    "send",
+    "recv",
+    "from_json",
+    "read_to_string",
+    "read_exact",
+];
+
+/// Is the identifier at `i` actually invoked — `name(` or turbofish
+/// `name::<T>(`? Bounded lookahead so a stray `<` cannot run away.
+fn is_called(toks: &[Tok], i: usize) -> bool {
+    let p = |t: &Tok, c: u8| t.kind == TokKind::Punct(c);
+    if toks.get(i + 1).is_some_and(|t| p(t, b'(')) {
+        return true;
+    }
+    // `name :: < ... > (`
+    if !(toks.get(i + 1).is_some_and(|t| p(t, b':'))
+        && toks.get(i + 2).is_some_and(|t| p(t, b':'))
+        && toks.get(i + 3).is_some_and(|t| p(t, b'<')))
+    {
+        return false;
+    }
+    let mut depth = 0i32;
+    for j in i + 3..(i + 24).min(toks.len()) {
+        if p(&toks[j], b'<') {
+            depth += 1;
+        } else if p(&toks[j], b'>') {
+            depth -= 1;
+            if depth == 0 {
+                return toks.get(j + 1).is_some_and(|t| p(t, b'('));
+            }
+        }
+    }
+    false
+}
+
+/// Backward scan from the `.` of a trailing `.ok();`: is the expression a
+/// whole discarded statement (true), or is its value bound/returned
+/// (false)? Statement boundaries are `;`/`{`/`}`; any `=`, `let`,
+/// `return`, `break`, or `match`/closure arrow on the way means the value
+/// is consumed.
+fn statement_discards(toks: &[Tok], dot: usize) -> bool {
+    let p = |t: &Tok, c: u8| t.kind == TokKind::Punct(c);
+    let mut k = dot;
+    for _ in 0..200 {
+        if k == 0 {
+            return true;
+        }
+        k -= 1;
+        let t = &toks[k];
+        if p(t, b';') || p(t, b'{') || p(t, b'}') {
+            return true;
+        }
+        if p(t, b'=')
+            || (t.kind == TokKind::Ident && matches!(t.text.as_str(), "let" | "return" | "break"))
+        {
+            return false;
+        }
+    }
+    false
+}
+
 /// Does this identifier plausibly name a cycle/byte counter?
 fn counter_ish(ident: &str) -> bool {
     let l = ident.to_ascii_lowercase();
@@ -263,6 +341,54 @@ pub fn analyze_source(path: &str, class: FileClass, src: &str) -> FileReport {
                     hit(&mut raw, t.line, "panic-in-library", format!("`{}!` aborts the simulation from library code — return an error or document why it is unreachable", t.text));
                 }
             }
+            // --- swallowed-error (library code only) ---
+            // Pattern A: `let _ = <fallible call>(...);` discards a Result.
+            "let" if panic_applies => {
+                let underscore = toks.get(i + 1).is_some_and(|n| is(n, "_"));
+                let assigned = toks.get(i + 2).is_some_and(|n| p(n, b'='));
+                if !(underscore && assigned) {
+                    continue;
+                }
+                for j in i + 3..(i + 64).min(toks.len()) {
+                    if p(&toks[j], b';') {
+                        break;
+                    }
+                    if toks[j].kind != TokKind::Ident {
+                        continue;
+                    }
+                    // `write!`/`writeln!` into a String are infallible fmt
+                    // macros — a macro invocation is not a fallible call.
+                    if toks.get(j + 1).is_some_and(|n| p(n, b'!')) {
+                        continue;
+                    }
+                    let name = toks[j].text.as_str();
+                    let fallible = FALLIBLE_CALLS.contains(&name) || name.starts_with("try_");
+                    if fallible && is_called(toks, j) {
+                        hit(
+                            &mut raw,
+                            t.line,
+                            "swallowed-error",
+                            format!("`let _ = …{name}(…)` discards a Result in library code — handle the error or add a reasoned allow-marker"),
+                        );
+                        break;
+                    }
+                }
+            }
+            // Pattern B: a bare trailing `.ok();` swallows a Result.
+            "ok" if panic_applies => {
+                let dotted = i > 0 && p(&toks[i - 1], b'.');
+                let bare_call = toks.get(i + 1).is_some_and(|n| p(n, b'('))
+                    && toks.get(i + 2).is_some_and(|n| p(n, b')'))
+                    && toks.get(i + 3).is_some_and(|n| p(n, b';'));
+                if dotted && bare_call && statement_discards(toks, i - 1) {
+                    hit(
+                        &mut raw,
+                        t.line,
+                        "swallowed-error",
+                        "bare `.ok();` silently swallows a Result in library code — handle the error or add a reasoned allow-marker".into(),
+                    );
+                }
+            }
             _ => {}
         }
     }
@@ -363,6 +489,49 @@ mod tests {
         assert!(analyze_source("x.rs", FileClass::Lib, or).findings.is_empty());
         let mac = "fn f() { panic!(\"boom\") }";
         assert_eq!(rules_of(&analyze_source("x.rs", FileClass::Lib, mac)), ["panic-in-library"]);
+    }
+
+    #[test]
+    fn swallowed_error_fires_on_discarded_results() {
+        let direct = "fn f(s: &str) { let _ = s.parse::<u32>(); }";
+        assert_eq!(rules_of(&analyze_source("x.rs", FileClass::Lib, direct)), ["swallowed-error"]);
+        let io = "fn f(mut w: impl std::io::Write, b: &[u8]) { let _ = w.write_all(b); }";
+        assert_eq!(rules_of(&analyze_source("x.rs", FileClass::Lib, io)), ["swallowed-error"]);
+        let try_prefix = "fn f(m: &Machine) { let _ = m.try_reserve(4); }";
+        assert_eq!(
+            rules_of(&analyze_source("x.rs", FileClass::Lib, try_prefix)),
+            ["swallowed-error"]
+        );
+        let bare_ok = "fn f() { std::fs::remove_file(\"x\").ok(); }";
+        assert_eq!(rules_of(&analyze_source("x.rs", FileClass::Lib, bare_ok)), ["swallowed-error"]);
+    }
+
+    #[test]
+    fn swallowed_error_stays_silent_on_legitimate_discards() {
+        // fmt::Write into a String is infallible — the idiom all through
+        // report.rs.
+        let fmt = "fn f(out: &mut String) { let _ = writeln!(out, \"x\"); let _ = write!(out, \"y\"); }";
+        assert!(analyze_source("x.rs", FileClass::Lib, fmt).findings.is_empty());
+        // Charged-access discard: `get` is not a fallible call.
+        let charged = "fn f(c: &mut Core, v: &SimVec<u64>) { let _ = v.get(c, 0); }";
+        assert!(analyze_source("x.rs", FileClass::Lib, charged).findings.is_empty());
+        // Bound `.ok()` converts, it does not swallow.
+        let bound = "fn f(s: &str) -> Option<u32> { let v = s.parse().ok(); v }";
+        assert!(analyze_source("x.rs", FileClass::Lib, bound).findings.is_empty());
+        let returned = "fn f(s: &str) -> Option<u32> { return s.parse().ok(); }";
+        assert!(analyze_source("x.rs", FileClass::Lib, returned).findings.is_empty());
+        // Binaries and tests are out of scope.
+        let src = "fn f(s: &str) { let _ = s.parse::<u32>(); }";
+        assert!(analyze_source("x.rs", FileClass::Bin, src).findings.is_empty());
+        assert!(analyze_source("x.rs", FileClass::Test, src).findings.is_empty());
+        // A reasoned allow-marker suppresses.
+        let allowed = "\
+// sgx-lint: allow(swallowed-error) best-effort cleanup, failure is benign
+fn f() { std::fs::remove_file(\"x\").ok(); }
+";
+        let r = analyze_source("x.rs", FileClass::Lib, allowed);
+        assert!(r.findings.is_empty(), "{:?}", r.findings);
+        assert_eq!(r.suppressed, 1);
     }
 
     #[test]

@@ -16,6 +16,7 @@
 //! | `counter-truncation` | narrowing `as u32`/`as usize`/… casts applied to cycle/byte counters |
 //! | `panic-in-library` | `unwrap()`/`expect()`/`panic!`/`todo!`/`unimplemented!` in non-test library code |
 //! | `unsafe-code` | any `unsafe` outside the allow-list (everywhere, including tests) |
+//! | `swallowed-error` | `let _ = <fallible call>(…)` and bare `.ok();` in non-test library code (discards a Result) |
 //!
 //! A finding is suppressed by an allow-marker comment on the same or the
 //! preceding line, with a mandatory reason:

@@ -45,6 +45,11 @@ pub struct Counters {
     pub alu_ops: u64,
     /// 512-bit vector operations charged via `Core::vec_compute`.
     pub vec_ops: u64,
+    /// Asynchronous enclave exits delivered by the fault engine
+    /// (`sgx_sim::faults`); each one also charges two `transitions`.
+    pub aex_events: u64,
+    /// Transient OCALL failures that forced a retry (fault engine).
+    pub ocall_retries: u64,
 }
 
 impl Counters {
@@ -66,7 +71,7 @@ impl Counters {
     /// print after a run).
     pub fn report(&self) -> String {
         let mut out = String::new();
-        let rows: [(&str, u64); 15] = [
+        let rows: [(&str, u64); 17] = [
             ("loads", self.loads),
             ("stores", self.stores),
             ("L1 hits", self.l1_hits),
@@ -82,6 +87,8 @@ impl Counters {
             ("EPC page faults", self.epc_page_faults),
             ("TLB misses", self.tlb_misses),
             ("enclave issue groups", self.enclave_groups),
+            ("AEX events", self.aex_events),
+            ("OCALL retries", self.ocall_retries),
         ];
         for (name, v) in rows {
             if v > 0 {

@@ -43,6 +43,7 @@
 pub mod cache;
 pub mod config;
 pub mod counters;
+pub mod faults;
 pub mod machine;
 pub mod mem;
 pub mod paging;
@@ -50,5 +51,6 @@ pub mod sync;
 
 pub use config::HwConfig;
 pub use counters::Counters;
+pub use faults::{AexStorm, EpcPressure, FaultEvent, FaultKind, FaultProfile, OcallFaults};
 pub use machine::{AccessKind, Core, Machine, PhaseStats, StreamReader, StreamWriter};
 pub use mem::{ExecMode, Region, Setting, SimVec};

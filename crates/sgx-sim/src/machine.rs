@@ -29,6 +29,7 @@
 use crate::cache::{line_of, Cache, Evicted, StreamDetector};
 use crate::config::{HwConfig, SgxGeneration, CACHE_LINE, PAGE_SIZE};
 use crate::counters::Counters;
+use crate::faults::{ocall_cost, FaultEngine, FaultEvent, FaultProfile};
 use crate::mem::{ExecMode, Region, RegionAlloc, Setting, SimVec};
 use crate::paging::Pager;
 use crate::sync::QueueModel;
@@ -137,6 +138,10 @@ pub struct Machine {
     seal_watermark: Vec<u64>,
     committed_pages: BTreeSet<u64>,
     pager: Option<Pager>,
+    faults: Option<FaultEngine>,
+    /// Cumulative busy cycles per hardware core across finished phases —
+    /// the per-core local clock the fault engine schedules against.
+    core_clock: Vec<f64>,
 }
 
 impl Machine {
@@ -166,8 +171,50 @@ impl Machine {
             seal_watermark: vec![0; n_regions],
             committed_pages: BTreeSet::new(),
             pager,
+            faults: None,
+            core_clock: vec![0.0; cfg.total_cores()],
             cfg,
         }
+    }
+
+    /// Install a deterministic fault-injection profile (AEX storms, EPC
+    /// pressure, transient OCALL failures — see [`crate::faults`]). The
+    /// resulting fault schedule is a pure function of the profile and its
+    /// seed: replaying the same workload reproduces the identical trace,
+    /// counters, and wall time.
+    pub fn install_faults(&mut self, profile: FaultProfile) {
+        self.faults = Some(FaultEngine::new(profile, self.cfg.total_cores()));
+    }
+
+    /// Events the fault engine has applied so far, in application order
+    /// (empty without [`Machine::install_faults`]).
+    pub fn fault_trace(&self) -> &[FaultEvent] {
+        self.faults.as_ref().map_or(&[], |engine| engine.trace())
+    }
+
+    /// Perform one OCALL round trip on the wall clock: the exit/re-entry
+    /// pair, plus deterministic transient-failure retries with bounded
+    /// exponential backoff (in simulated cycles) when an OCALL fault
+    /// profile is installed. Returns the number of retries, also summed
+    /// into `Counters::ocall_retries`. Native mode is a plain host call:
+    /// free and infallible here.
+    pub fn ocall(&mut self) -> u32 {
+        if self.mode != ExecMode::Enclave {
+            return 0;
+        }
+        let retries = match &mut self.faults {
+            Some(engine) => engine.plan_ocall(self.wall),
+            None => 0,
+        };
+        let backoff = self
+            .faults
+            .as_ref()
+            .and_then(|engine| engine.profile().ocall)
+            .map_or(0.0, |o| o.backoff_cycles);
+        self.wall += ocall_cost(retries, self.cfg.transitions.transition_cycles, backoff);
+        self.counters.transitions += 2 * (1 + retries as u64);
+        self.counters.ocall_retries += retries as u64;
+        retries
     }
 
     /// The hardware configuration.
@@ -326,7 +373,9 @@ impl Machine {
             }
             upi_bytes += core.upi_bytes;
             faults += core.faults;
+            let busy = core.cycles;
             edmm_pages += core.edmm_pages;
+            self.core_clock[id] += busy;
         }
         self.finish_phase(core_cycles, dram_bytes, upi_bytes, faults, edmm_pages)
     }
@@ -374,7 +423,9 @@ impl Machine {
                     }
                     upi_bytes += core.upi_bytes;
                     faults += core.faults;
+                    let busy = core.cycles;
                     edmm_pages += core.edmm_pages;
+                    self.core_clock[cores[w]] += busy;
                 }
             }
         }
@@ -529,6 +580,7 @@ impl<'m> Core<'m> {
     pub fn compute(&mut self, n: u64) {
         self.m.counters.alu_ops += n;
         self.cycles += n as f64 * self.m.cfg.pipeline.cycles_per_op;
+        self.fault_tick();
     }
 
     /// Charge `n` 512-bit vector operations.
@@ -536,12 +588,104 @@ impl<'m> Core<'m> {
     pub fn vec_compute(&mut self, n: u64) {
         self.m.counters.vec_ops += n;
         self.cycles += n as f64 * self.m.cfg.pipeline.cycles_per_vec_op;
+        self.fault_tick();
     }
 
     /// Charge raw cycles (e.g. a modelled library call).
     #[inline]
     pub fn charge(&mut self, cycles: f64) {
         self.cycles += cycles;
+        self.fault_tick();
+    }
+
+    /// Perform one OCALL round trip from this core, charging the worker's
+    /// cycle clock instead of the machine wall clock; otherwise identical
+    /// to [`Machine::ocall`] (deterministic transient failures, bounded
+    /// backoff, `ocall_retries` accounting).
+    pub fn ocall(&mut self) -> u32 {
+        if self.m.mode != ExecMode::Enclave {
+            return 0;
+        }
+        let at = self.m.core_clock[self.id] + self.cycles;
+        let retries = match &mut self.m.faults {
+            Some(engine) => engine.plan_ocall(at),
+            None => 0,
+        };
+        let backoff = self
+            .m
+            .faults
+            .as_ref()
+            .and_then(|engine| engine.profile().ocall)
+            .map_or(0.0, |o| o.backoff_cycles);
+        self.cycles += ocall_cost(retries, self.m.cfg.transitions.transition_cycles, backoff);
+        self.m.counters.transitions += 2 * (1 + retries as u64);
+        self.m.counters.ocall_retries += retries as u64;
+        self.fault_tick();
+        retries
+    }
+
+    /// Fault-injection hook, called after every cycle-advancing charge:
+    /// delivers asynchronous interrupts that came due on this core and
+    /// inflates the EPC pressure balloon once its threshold is crossed. A
+    /// machine without faults installed pays a single branch.
+    #[inline]
+    fn fault_tick(&mut self) {
+        if self.m.faults.is_some() {
+            self.fault_tick_slow();
+        }
+    }
+
+    #[cold]
+    fn fault_tick_slow(&mut self) {
+        let base = self.m.core_clock[self.id];
+        // EPC pressure: once the balloon inflates, every touch beyond the
+        // shrunken residency pages through the SGXv1-style pager
+        // (`pre_touch`), and `finish_phase` serializes the fault train.
+        if self.m.mode == ExecMode::Enclave && self.m.pager.is_none() {
+            let clock = base + self.cycles;
+            let resident = self.m.faults.as_mut().and_then(|engine| engine.poll_balloon(clock));
+            if let Some(resident_bytes) = resident {
+                let mut paging = self.m.cfg.paging;
+                paging.resident_bytes = resident_bytes;
+                self.m.pager = Some(Pager::new(&paging));
+            }
+        }
+        // Interrupt delivery. Interrupts stay masked while one is serviced
+        // (the next event is scheduled from the post-handler clock), so a
+        // storm whose handler outlasts the mean interval cannot livelock.
+        loop {
+            let clock = base + self.cycles;
+            let due = self
+                .m
+                .faults
+                .as_ref()
+                .is_some_and(|engine| engine.interrupt_due(self.id, clock));
+            if !due {
+                return;
+            }
+            let cost = match self.m.mode {
+                ExecMode::Enclave => {
+                    // An AEX: scrub state, exit, kernel handler, ERESUME —
+                    // a full enclave round trip — and the core resumes with
+                    // cold L1/TLB/stream state, so the refill cost emerges
+                    // organically from the cache model.
+                    self.m.counters.aex_events += 1;
+                    self.m.counters.transitions += 2;
+                    let hw = &mut self.m.cores[self.id];
+                    hw.l1.flush();
+                    hw.streams.reset();
+                    hw.tlb.fill(u64::MAX);
+                    2.0 * self.m.cfg.transitions.transition_cycles
+                }
+                // A native interrupt is just a kernel round trip: no
+                // enclave state to scrub, no TLB flush.
+                ExecMode::Native => self.m.cfg.interrupts.native_interrupt_cycles,
+            };
+            self.cycles += cost;
+            if let Some(engine) = self.m.faults.as_mut() {
+                engine.interrupt_fired(self.id, clock, base + self.cycles);
+            }
+        }
     }
 
     /// Charge the expected cost of a data-dependent branch that the
@@ -602,6 +746,7 @@ impl<'m> Core<'m> {
             }
         };
         self.cycles += cost;
+        self.fault_tick();
     }
 
     /// Resolve + charge a random-pattern access of `bytes` at `addr`.
@@ -650,6 +795,7 @@ impl<'m> Core<'m> {
             // parity (Fig 5), and on DRAM chases the MEE fill latency in
             // `far` already carries the whole penalty.
             self.cycles += c.near + c.far;
+            self.fault_tick();
             return;
         }
         if let Some(g) = &mut self.group {
@@ -678,6 +824,7 @@ impl<'m> Core<'m> {
             }
         };
         self.cycles += cost;
+        self.fault_tick();
     }
 
     /// Walk the cache hierarchy for one line; fills caches and accounts
@@ -902,6 +1049,7 @@ impl<'m> Core<'m> {
             self.upi_bytes += CACHE_LINE as f64;
         }
         self.cycles += per_line + VEC_ISSUE + walk / self.m.cfg.mem.mlp_native;
+        self.fault_tick();
     }
 
     /// Charge a streaming touch of `lines` consecutive cache lines starting
@@ -941,6 +1089,7 @@ impl<'m> Core<'m> {
         };
         let n_issues = if vector { lines.max(1) } else { elems };
         self.cycles += line_cost_total + n_issues as f64 * (issue + per_elem_tax);
+        self.fault_tick();
     }
 
     /// Per-line cost of a stream access through the hierarchy; the flag

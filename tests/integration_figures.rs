@@ -344,3 +344,44 @@ fn table1_emits() {
     assert!(!f.xs.is_empty());
     assert!(f.render().contains("Sockets"));
 }
+
+#[test]
+fn ext_aex_storm_is_deterministic_across_runs() {
+    // The fault engine is part of the determinism contract: two
+    // in-process runs with the same profile must replay the same AEX
+    // schedule, OCALL failures, and EPC balloon, down to the serialized
+    // bytes of the figure.
+    let a = ex::ext_aex_storm(&tiny()).to_json();
+    let b = ex::ext_aex_storm(&tiny()).to_json();
+    assert_eq!(a, b, "repeated storm runs must serialize byte-identically");
+}
+
+#[test]
+fn ext_aex_storm_shape_enclave_collapses_first() {
+    let f = ex::ext_aex_storm(&tiny());
+    // x: [0, 20, 80, 320] interrupts per Mcycle, all series normalized to
+    // their own calm baseline.
+    let last = f.xs.len() - 1;
+    for w in ["join", "scan"] {
+        let native = |i| v(&f, &format!("{w}, Plain CPU"), i);
+        let sgx = |i| v(&f, &format!("{w}, SGX (Data in Enclave)"), i);
+        assert!((native(0) - 1.0).abs() < 1e-9, "{w}: calm baseline normalizes to 1.0");
+        assert!((sgx(0) - 1.0).abs() < 1e-9, "{w}: calm baseline normalizes to 1.0");
+        for i in 1..=last {
+            assert!(sgx(i) < native(i), "{w}@{i}: storm must hurt the enclave more");
+            assert!(sgx(i) <= sgx(i - 1) + 1e-9, "{w}: enclave decline must be monotone");
+        }
+        assert!(
+            sgx(last) < 0.5,
+            "{w}: enclave must collapse under the top storm rate, kept {:.3}",
+            sgx(last)
+        );
+        assert!(native(last) > sgx(last) * 2.0, "{w}: native degrades far more gracefully");
+    }
+    // The fault counters must surface in the figure JSON so downstream
+    // tooling can attribute the slowdown without rerunning.
+    let json = f.to_json();
+    assert!(json.contains("aex_events="), "figure JSON must carry aex_events");
+    assert!(json.contains("ocall_retries="), "figure JSON must carry ocall_retries");
+    assert!(json.contains("transitions="), "figure JSON must carry the transitions attribution");
+}

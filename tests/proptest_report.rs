@@ -1,0 +1,81 @@
+//! Property tests for the report/JSON layer: `Figure::from_json` must be
+//! total — truncated, mutated, or garbage input returns `Err`, never
+//! panics — and anything it accepts must satisfy the figure invariants
+//! and re-serialize byte-identically.
+
+use proptest::prelude::*;
+use sgx_bench_core::{Figure, Stat};
+
+/// A representative figure serialized by the deterministic printer. Kept
+/// ASCII so any byte offset is a valid UTF-8 cut point.
+fn reference_json() -> String {
+    let mut f = Figure::new("figX", "storm demo", "rate", "relative").with_xs(["0", "20", "320"]);
+    f.push_series(
+        "join, native",
+        vec![Some(Stat::exact(1.0)), Some(Stat { mean: 0.9, stddev: 0.01 }), None],
+    );
+    f.push_series("join, enclave", vec![Some(Stat::exact(1.0)), None, Some(Stat::exact(0.14))]);
+    f.note("aex_events=123 ocall_retries=4");
+    f.to_json()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// Every strict prefix of valid output is rejected, not panicked on.
+    #[test]
+    fn truncated_json_always_errs(frac in 0.0f64..1.0) {
+        let full = reference_json();
+        let cut = ((full.len() as f64 * frac) as usize).min(full.len() - 1);
+        prop_assert!(Figure::from_json(&full[..cut]).is_err());
+    }
+
+    /// Single-byte mutations never panic; when they still parse, the
+    /// result upholds the series-length invariant and round-trips.
+    #[test]
+    fn mutated_json_never_panics(frac in 0.0f64..1.0, byte in 0u8..=255) {
+        let full = reference_json().into_bytes();
+        let pos = ((full.len() as f64 * frac) as usize).min(full.len() - 1);
+        let mut bytes = full;
+        bytes[pos] = byte;
+        // Non-UTF-8 mutations exercise the lossy path a caller would hit
+        // reading a corrupted file.
+        let text = String::from_utf8_lossy(&bytes).into_owned();
+        if let Ok(fig) = Figure::from_json(&text) {
+            for s in &fig.series {
+                prop_assert_eq!(s.points.len(), fig.xs.len());
+            }
+            let re = fig.to_json();
+            let again = Figure::from_json(&re);
+            prop_assert!(again.is_ok(), "accepted figure must re-parse");
+            prop_assert_eq!(again.unwrap().to_json(), re, "re-serialization must be a fixpoint");
+        }
+    }
+
+    /// Arbitrary short garbage strings are rejected without panicking.
+    /// (The vendored proptest has no string-regex strategies, so the
+    /// garbage is derived from a seeded LCG over printable ASCII plus the
+    /// JSON structural characters.)
+    #[test]
+    fn garbage_never_panics(seed in 0u64..u64::MAX, len in 0usize..64) {
+        let mut x = seed | 1;
+        let alphabet: &[u8] = b"{}[]\",:.0123456789eE+-truefalsnl \\\t\n";
+        let s: String = (0..len)
+            .map(|_| {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+                alphabet[(x >> 33) as usize % alphabet.len()] as char
+            })
+            .collect();
+        let _ = Figure::from_json(&s);
+    }
+}
+
+/// Deeply nested input must hit the parser's recursion bound, not the
+/// process stack.
+#[test]
+fn pathological_nesting_is_rejected() {
+    let bomb = "[".repeat(200_000);
+    assert!(Figure::from_json(&bomb).is_err());
+    let balanced = format!("{}{}", "[".repeat(4_000), "]".repeat(4_000));
+    assert!(Figure::from_json(&balanced).is_err());
+}
