@@ -17,6 +17,50 @@ cargo test -q
 echo "== ci: lint"
 ./lint.sh
 
+echo "== ci: lint corpus self-check"
+./lint.sh --score-corpus crates/sgx-lint/corpus >/dev/null
+
+LINT=target/release/sgx-lint
+LINT_TMP=$(mktemp -d)
+
+echo "== ci: lint JSON baseline gate (two runs, byte-identical)"
+"$LINT" --format json --baseline lint-baseline.json crates tests > "$LINT_TMP/run1.json"
+"$LINT" --format json --baseline lint-baseline.json crates tests > "$LINT_TMP/run2.json"
+if ! cmp -s "$LINT_TMP/run1.json" "$LINT_TMP/run2.json"; then
+    echo "ci: FAIL — lint JSON report must be byte-identical across runs" >&2
+    exit 1
+fi
+if ! grep -q '"total": 0.0' "$LINT_TMP/run1.json"; then
+    echo "ci: FAIL — unbaselined lint findings present" >&2
+    exit 1
+fi
+
+echo "== ci: lint negative self-check (injected violation)"
+mkdir -p "$LINT_TMP/inject/src"
+cat > "$LINT_TMP/inject/src/lib.rs" <<'EOF'
+pub struct Counters {
+    pub ghost: u64,
+}
+EOF
+if "$LINT" --format json "$LINT_TMP/inject" > "$LINT_TMP/inject.json" 2>&1; then
+    echo "ci: FAIL — injected violation must exit nonzero" >&2
+    exit 1
+fi
+if ! grep -q '"rule": "counter-conservation"' "$LINT_TMP/inject.json"; then
+    echo "ci: FAIL — injected violation must surface as counter-conservation" >&2
+    exit 1
+fi
+
+echo "== ci: lint stale-baseline self-check"
+cat > "$LINT_TMP/stale.json" <<'EOF'
+{"baseline": [{"path": "crates/does-not-exist.rs", "rule": "unsafe-code", "line": 1, "reason": "stale entry for the CI self-check"}]}
+EOF
+if "$LINT" --baseline "$LINT_TMP/stale.json" crates tests >/dev/null 2>&1; then
+    echo "ci: FAIL — a stale baseline entry must exit nonzero" >&2
+    exit 1
+fi
+rm -rf "$LINT_TMP"
+
 BIN=target/release/all_figures
 MANIFEST=target/figures/manifest.json
 

@@ -26,6 +26,7 @@ pub fn inl_join(
         // sgx-lint: allow(untracked-access) untimed setup: the index pre-exists the measured query
         r.as_slice_untracked().iter().map(|row| IndexRow { key: row.key, payload: row.payload }).collect();
     indexed.sort_unstable_by_key(|r| r.key);
+    // sgx-lint: allow(untracked-slice-taint) untimed setup continues: bulk_load builds the pre-existing index
     let tree = BPlusTree::bulk_load(machine, &indexed);
 
     let t = cfg.cores.len();

@@ -1,0 +1,8 @@
+//! Negative: without the `calibration-file` pragma the rule does not
+//! apply — ordinary code is free to use untagged literals.
+
+pub const SEED: u64 = 42;
+
+pub fn double(x: u64) -> u64 {
+    x * 2
+}

@@ -1,0 +1,16 @@
+//! Negative: every field is both charged by non-test code and read
+//! outside the struct's own impl — fully conserved.
+
+pub struct Counters {
+    pub loads: u64,
+    pub stores: u64,
+}
+
+pub fn charge(c: &mut Counters) {
+    c.loads += 1;
+    c.stores += 1;
+}
+
+pub fn figure(c: &Counters) -> u64 {
+    c.loads + c.stores
+}

@@ -1,0 +1,10 @@
+//! Negative: the rule is scoped to `struct Counters` — an unrelated tally
+//! struct with a write-only field is not its business.
+
+pub struct Tally {
+    pub hits: u64,
+}
+
+pub fn bump(t: &mut Tally) {
+    t.hits += 1;
+}

@@ -1,0 +1,22 @@
+//! Negative: the one charging function calls `fault_tick`, and the
+//! read-only accessor charges nothing — full coverage.
+
+pub struct Core {
+    cycles: f64,
+    pending: u64,
+}
+
+impl Core {
+    fn fault_tick(&mut self) {
+        self.pending = 0;
+    }
+
+    pub fn compute(&mut self, ops: u64) {
+        self.cycles += ops as f64;
+        self.fault_tick();
+    }
+
+    pub fn elapsed(&self) -> f64 {
+        self.cycles
+    }
+}

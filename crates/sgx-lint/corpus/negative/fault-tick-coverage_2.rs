@@ -1,0 +1,12 @@
+//! Negative: no `fault_tick` is defined here, so this file is outside the
+//! rule's scope — charging cycles alone is not a violation.
+
+pub struct Core {
+    cycles: f64,
+}
+
+impl Core {
+    pub fn charge(&mut self, n: f64) {
+        self.cycles += n;
+    }
+}

@@ -1,0 +1,13 @@
+//! Negative: the tainted slice reaches a helper that only takes its
+//! length — no per-element access ever leaves the event stream, so the
+//! taint rule must stay silent.
+
+pub fn build(v: &SimVec<u64>) -> usize {
+    // sgx-lint: allow(untracked-access) setup-phase length probe, no per-element reads
+    let keys = v.as_slice_untracked();
+    note(keys)
+}
+
+fn note(xs: &[u64]) -> usize {
+    xs.len()
+}

@@ -1,0 +1,14 @@
+//! Negative: an ordinary borrowed slice (no escape hatch anywhere) flows
+//! into a consuming helper — consumption alone is not taint.
+
+pub fn merge(xs: &[u64]) -> u64 {
+    total(xs)
+}
+
+fn total(xs: &[u64]) -> u64 {
+    let mut t = 0u64;
+    for x in xs {
+        t += x;
+    }
+    t
+}

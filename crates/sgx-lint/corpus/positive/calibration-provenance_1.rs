@@ -1,0 +1,7 @@
+//! Positive: the file opts in via the calibration pragma; the second
+//! constant has no `paper:`/`uarch:` tag on its line or the line above.
+
+// sgx-lint: calibration-file — corpus case
+pub const DRAM_LATENCY: f64 = 220.0; // uarch: measured pointer-chase on the bench box
+
+pub const MEE_FILL_LATENCY: f64 = 175.0;

@@ -1,0 +1,7 @@
+//! Positive: a provenance tag two lines up does not count — the tag must
+//! sit on the constant's line or directly above it to survive edits.
+
+// sgx-lint: calibration-file — corpus case
+// paper: §4.4 transition costs
+// (see the warm-transition microbenchmark)
+pub const TRANSITION_CYCLES: f64 = 10_000.0;

@@ -1,0 +1,15 @@
+//! Positive: `stalls` is declared and even summed into a figure, but no
+//! charge path ever writes it — a dead counter.
+
+pub struct Counters {
+    pub loads: u64,
+    pub stalls: u64,
+}
+
+pub fn charge(c: &mut Counters) {
+    c.loads += 1;
+}
+
+pub fn figure(c: &Counters) -> u64 {
+    c.loads + c.stalls
+}

@@ -1,0 +1,22 @@
+//! Positive: `spills` is charged, but the only read is bookkeeping inside
+//! `impl Counters` — no figure or test ever attributes it.
+
+pub struct Counters {
+    pub loads: u64,
+    pub spills: u64,
+}
+
+impl Counters {
+    pub fn accesses(&self) -> u64 {
+        self.loads + self.spills
+    }
+}
+
+pub fn charge(c: &mut Counters) {
+    c.loads += 1;
+    c.spills += 1;
+}
+
+pub fn figure(c: &Counters) -> u64 {
+    c.loads
+}

@@ -1,0 +1,22 @@
+//! Positive: `leaky` charges cycles but never reaches `fault_tick`, so an
+//! injected fault profile cannot observe that charge path.
+
+pub struct Core {
+    cycles: f64,
+    pending: u64,
+}
+
+impl Core {
+    fn fault_tick(&mut self) {
+        self.pending = 0;
+    }
+
+    pub fn charge(&mut self, n: f64) {
+        self.cycles += n;
+        self.fault_tick();
+    }
+
+    pub fn leaky(&mut self, n: f64) {
+        self.cycles += n;
+    }
+}

@@ -1,0 +1,23 @@
+//! Positive: `deliver` is exempt (it is `fault_tick`'s own charge path and
+//! must not recurse into the tick), but `stream` is an ordinary charge
+//! path and still leaks.
+
+pub struct Machine {
+    cycles: f64,
+    faults: u64,
+}
+
+impl Machine {
+    fn fault_tick(&mut self) {
+        self.deliver();
+    }
+
+    fn deliver(&mut self) {
+        self.cycles += 40.0;
+        self.faults += 1;
+    }
+
+    pub fn stream(&mut self, lines: u64) {
+        self.cycles += lines as f64 * 14.3;
+    }
+}

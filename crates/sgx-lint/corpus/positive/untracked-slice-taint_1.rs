@@ -1,0 +1,13 @@
+//! Positive: a slice born from the untracked escape hatch is bound to a
+//! local and handed to a helper that indexes it — the helper's reads
+//! bypass the SimVec event stream across the call edge.
+
+pub fn build(v: &SimVec<u64>) -> u64 {
+    // sgx-lint: allow(untracked-access) corpus case isolates the cross-function flow
+    let keys = v.as_slice_untracked();
+    helper(keys)
+}
+
+fn helper(keys: &[u64]) -> u64 {
+    keys[0]
+}

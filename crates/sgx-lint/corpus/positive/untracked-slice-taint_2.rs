@@ -1,0 +1,15 @@
+//! Positive: the escape hatch is passed directly as a call argument and
+//! the callee iterates the parameter in a for-loop.
+
+pub fn scan(v: &SimVec<u32>) -> u64 {
+    // sgx-lint: allow(untracked-access) corpus case isolates the cross-function flow
+    sum(v.as_slice_untracked())
+}
+
+fn sum(xs: &[u32]) -> u64 {
+    let mut total = 0u64;
+    for x in xs {
+        total += u64::from(*x);
+    }
+    total
+}

@@ -1,0 +1,21 @@
+//! Positive: method-call syntax — the tainted local flows into `self.fold`
+//! whose first non-receiver parameter is iterated. The `self` shift must
+//! not misalign the argument positions.
+
+pub struct Probe;
+
+impl Probe {
+    pub fn run(&self, v: &SimVec<u64>) -> u64 {
+        // sgx-lint: allow(untracked-access) corpus case isolates the cross-function flow
+        let rows = v.as_slice_untracked();
+        self.fold(rows)
+    }
+
+    fn fold(&self, rows: &[u64]) -> u64 {
+        let mut acc = 0u64;
+        for r in rows.iter() {
+            acc ^= r;
+        }
+        acc
+    }
+}

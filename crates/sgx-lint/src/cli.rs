@@ -1,45 +1,69 @@
 //! Command-line front end.
 //!
 //! ```text
-//! sgx-lint [--json] [paths...]          lint (default root: crates)
+//! sgx-lint [--format text|json] [--baseline file.json] [paths...]
 //! sgx-lint --score-corpus <dir>         score the labeled corpus
 //! ```
+//!
+//! The default scan root is `crates`. `--format json` emits a deterministic
+//! report through [`sgx_bench_core::json`] — byte-identical across runs on
+//! identical sources, which `ci.sh` checks by diffing two invocations.
+//! `--baseline` suppresses findings listed in a checked-in waiver file; a
+//! baseline entry that no longer matches anything is itself reported (rule
+//! `stale-baseline`) so the waiver list cannot rot.
 //!
 //! Exit code 0 = clean (or corpus at 100% TP / 0 FP), 1 = findings (or
 //! corpus misses), 2 = usage error.
 
 use crate::corpus;
-use crate::engine::FileReport;
-use std::path::PathBuf;
+use crate::engine::Finding;
+use sgx_bench_core::json::Value;
+use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
-/// JSON-escape a string (the lint is dependency-free by design).
-fn esc(s: &str) -> String {
-    let mut out = String::with_capacity(s.len() + 2);
-    out.push('"');
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
-            c => out.push(c),
-        }
-    }
-    out.push('"');
-    out
+/// Output format selected on the command line.
+enum Format {
+    Text,
+    Json,
+}
+
+/// One waiver from the `--baseline` file, matched on (path, rule, line).
+#[derive(Debug)]
+struct BaselineEntry {
+    path: String,
+    rule: String,
+    line: u32,
 }
 
 /// Run the CLI on `args` (without the program name).
 pub fn run(args: impl Iterator<Item = String>) -> ExitCode {
-    let mut json = false;
+    let mut format = Format::Text;
+    let mut baseline_path: Option<PathBuf> = None;
     let mut corpus_dir: Option<PathBuf> = None;
     let mut paths: Vec<PathBuf> = Vec::new();
     let mut args = args.peekable();
     while let Some(a) = args.next() {
         match a.as_str() {
-            "--json" => json = true,
+            // Legacy spelling of `--format json`.
+            "--json" => format = Format::Json,
+            "--format" => match args.next().as_deref() {
+                Some("json") => format = Format::Json,
+                Some("text") => format = Format::Text,
+                other => {
+                    eprintln!(
+                        "sgx-lint: --format needs `text` or `json`, got {}",
+                        other.map_or_else(|| "nothing".to_string(), |o| format!("`{o}`"))
+                    );
+                    return ExitCode::from(2);
+                }
+            },
+            "--baseline" => match args.next() {
+                Some(p) => baseline_path = Some(PathBuf::from(p)),
+                None => {
+                    eprintln!("sgx-lint: --baseline needs a file");
+                    return ExitCode::from(2);
+                }
+            },
             "--score-corpus" => match args.next() {
                 Some(dir) => corpus_dir = Some(PathBuf::from(dir)),
                 None => {
@@ -49,7 +73,7 @@ pub fn run(args: impl Iterator<Item = String>) -> ExitCode {
             },
             "--help" | "-h" => {
                 println!(
-                    "usage: sgx-lint [--json] [paths...]\n       sgx-lint --score-corpus <dir>\n\nLints workspace Rust sources for model-integrity violations\n(untracked-access, nondeterminism, counter-truncation,\npanic-in-library, unsafe-code, swallowed-error).\nDefault scan root: crates"
+                    "usage: sgx-lint [--format text|json] [--baseline file.json] [paths...]\n       sgx-lint --score-corpus <dir>\n\nLints workspace Rust sources for model-integrity violations.\nPer-file rules: untracked-access, nondeterminism, counter-truncation,\npanic-in-library, unsafe-code, swallowed-error.\nWorkspace rules: untracked-slice-taint, counter-conservation,\nfault-tick-coverage, calibration-provenance.\nDefault scan root: crates"
                 );
                 return ExitCode::SUCCESS;
             }
@@ -84,66 +108,201 @@ pub fn run(args: impl Iterator<Item = String>) -> ExitCode {
         }
     }
     let reports = crate::analyze_paths(&paths);
-    let total: usize = reports.iter().map(|(_, r)| r.findings.len()).sum();
     let suppressed: usize = reports.iter().map(|(_, r)| r.suppressed).sum();
     let files = reports.len();
+    let mut findings: Vec<Finding> =
+        reports.iter().flat_map(|(_, r)| r.findings.iter().cloned()).collect();
+    findings.sort();
+    findings.dedup();
 
-    if json {
-        print!("{}", render_json(&reports, suppressed));
-    } else {
-        for (_, report) in &reports {
-            for f in &report.findings {
-                println!("{}:{}: [{}] {}", f.path, f.line, f.rule, f.message);
+    let mut baselined = 0usize;
+    if let Some(bp) = &baseline_path {
+        let entries = match load_baseline(bp) {
+            Ok(e) => e,
+            Err(e) => {
+                eprintln!("sgx-lint: {}: {e}", bp.display());
+                return ExitCode::from(2);
+            }
+        };
+        let mut used = vec![false; entries.len()];
+        findings.retain(|f| {
+            match entries
+                .iter()
+                .position(|e| e.path == f.path && e.rule == f.rule && e.line == f.line)
+            {
+                Some(i) => {
+                    used[i] = true;
+                    baselined += 1;
+                    false
+                }
+                None => true,
+            }
+        });
+        // A waiver that matches nothing is dead weight and may hide a fixed
+        // finding silently regressing to a different line: fail on it.
+        for (e, u) in entries.iter().zip(&used) {
+            if !u {
+                findings.push(Finding {
+                    path: e.path.clone(),
+                    line: e.line,
+                    rule: "stale-baseline".to_string(),
+                    message: format!(
+                        "baseline entry for `{}` no longer matches any finding — prune it",
+                        e.rule
+                    ),
+                });
             }
         }
-        println!(
-            "sgx-lint: {total} finding{} across {files} files ({suppressed} suppressed by allow-markers)",
-            if total == 1 { "" } else { "s" }
-        );
+        findings.sort();
     }
-    if total == 0 {
+
+    match format {
+        Format::Json => {
+            println!("{}", report_value(&findings, files, suppressed, baselined).pretty());
+        }
+        Format::Text => {
+            for f in &findings {
+                println!("{}:{}: [{}] {}", f.path, f.line, f.rule, f.message);
+            }
+            let total = findings.len();
+            println!(
+                "sgx-lint: {total} finding{} across {files} files ({suppressed} suppressed by allow-markers, {baselined} baselined)",
+                if total == 1 { "" } else { "s" }
+            );
+        }
+    }
+    if findings.is_empty() {
         ExitCode::SUCCESS
     } else {
         ExitCode::FAILURE
     }
 }
 
-fn render_json(reports: &[(PathBuf, FileReport)], suppressed: usize) -> String {
-    let mut out = String::from("{\n  \"findings\": [");
-    let mut first = true;
-    for (_, report) in reports {
-        for f in &report.findings {
-            if !first {
-                out.push(',');
-            }
-            first = false;
-            out.push_str(&format!(
-                "\n    {{\"path\": {}, \"line\": {}, \"rule\": {}, \"message\": {}}}",
-                esc(&f.path),
-                f.line,
-                esc(&f.rule),
-                esc(&f.message)
-            ));
+/// Build the deterministic JSON report document.
+///
+/// Every field is either a sorted list or a scalar derived from one, so the
+/// bytes depend only on the analyzed sources — never on walk order, clocks
+/// or addresses. (The shared writer prints integral numbers as `N.0`.)
+fn report_value(findings: &[Finding], files: usize, suppressed: usize, baselined: usize) -> Value {
+    Value::Obj(vec![
+        ("schema".into(), Value::Str("sgx-lint/1".into())),
+        ("files".into(), Value::Num(files as f64)),
+        ("suppressed".into(), Value::Num(suppressed as f64)),
+        ("baselined".into(), Value::Num(baselined as f64)),
+        ("total".into(), Value::Num(findings.len() as f64)),
+        (
+            "findings".into(),
+            Value::Arr(
+                findings
+                    .iter()
+                    .map(|f| {
+                        Value::Obj(vec![
+                            ("path".into(), Value::Str(f.path.clone())),
+                            ("line".into(), Value::Num(f.line as f64)),
+                            ("rule".into(), Value::Str(f.rule.clone())),
+                            ("message".into(), Value::Str(f.message.clone())),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+/// Load and validate a `--baseline` file:
+/// `{"baseline": [{"path": …, "rule": …, "line": N, "reason": …}, …]}`.
+/// `reason` is mandatory and non-empty — a waiver without a justification
+/// is indistinguishable from a rug-swept finding.
+fn load_baseline(path: &Path) -> Result<Vec<BaselineEntry>, String> {
+    let src = std::fs::read_to_string(path).map_err(|e| e.to_string())?;
+    let doc = Value::parse(&src)?;
+    let arr = doc
+        .get("baseline")
+        .and_then(Value::as_arr)
+        .ok_or_else(|| "expected a top-level \"baseline\" array".to_string())?;
+    let mut entries = Vec::with_capacity(arr.len());
+    for (i, item) in arr.iter().enumerate() {
+        let field = |key: &str| {
+            item.get(key)
+                .and_then(Value::as_str)
+                .map(str::to_string)
+                .ok_or_else(|| format!("baseline[{i}]: missing string field \"{key}\""))
+        };
+        let line = item
+            .get("line")
+            .and_then(Value::as_f64)
+            .filter(|n| *n >= 0.0 && n.fract() == 0.0)
+            .ok_or_else(|| format!("baseline[{i}]: missing integral field \"line\""))?;
+        let reason = field("reason")?;
+        if reason.trim().is_empty() {
+            return Err(format!("baseline[{i}]: \"reason\" must not be empty"));
         }
+        entries.push(BaselineEntry { path: field("path")?, rule: field("rule")?, line: line as u32 });
     }
-    if !first {
-        out.push_str("\n  ");
-    }
-    let total: usize = reports.iter().map(|(_, r)| r.findings.len()).sum();
-    out.push_str(&format!(
-        "],\n  \"total\": {total},\n  \"suppressed\": {suppressed},\n  \"files\": {}\n}}\n",
-        reports.len()
-    ));
-    out
+    Ok(entries)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::engine::FileClass;
+
+    fn finding(path: &str, rule: &str, line: u32) -> Finding {
+        Finding {
+            path: path.into(),
+            line,
+            rule: rule.into(),
+            message: format!("{rule} at {path}:{line}"),
+        }
+    }
 
     #[test]
-    fn json_escaping() {
-        assert_eq!(esc("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
-        assert_eq!(esc("plain"), "\"plain\"");
+    fn json_report_is_byte_identical_across_runs() {
+        let src = "fn f(v: &T) { let s = v.as_slice_untracked(); let _ = s[0]; }\n";
+        let render = || {
+            let report = crate::analyze_single("lib.rs", FileClass::OperatorLib, src);
+            report_value(&report.findings, 1, report.suppressed, 0).pretty()
+        };
+        let a = render();
+        let b = render();
+        assert!(!a.is_empty());
+        assert_eq!(a, b, "two runs over identical input must emit identical bytes");
+    }
+
+    #[test]
+    fn json_report_roundtrips_and_orders_findings() {
+        let fs = vec![finding("b.rs", "unsafe-code", 2), finding("a.rs", "nondeterminism", 9)];
+        let doc = report_value(&fs, 2, 1, 0);
+        let back = Value::parse(&doc.pretty()).unwrap();
+        assert_eq!(back.get("total").and_then(Value::as_f64), Some(2.0));
+        let arr = back.get("findings").and_then(Value::as_arr).unwrap();
+        assert_eq!(arr.len(), 2);
+        assert_eq!(arr[0].get("path").and_then(Value::as_str), Some("b.rs"));
+        assert_eq!(arr[0].get("line").and_then(Value::as_f64), Some(2.0));
+    }
+
+    #[test]
+    fn baseline_parses_and_rejects_bad_entries() {
+        let dir = std::env::temp_dir().join("sgx_lint_cli_baseline_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let good = dir.join("good.json");
+        std::fs::write(
+            &good,
+            "{\"baseline\": [{\"path\": \"a.rs\", \"rule\": \"unsafe-code\", \"line\": 3.0, \"reason\": \"vetted FFI shim\"}]}",
+        )
+        .unwrap();
+        let entries = load_baseline(&good).unwrap();
+        assert_eq!(entries.len(), 1);
+        assert_eq!((entries[0].path.as_str(), entries[0].line), ("a.rs", 3));
+
+        let bad = dir.join("bad.json");
+        std::fs::write(&bad, "{\"baseline\": [{\"path\": \"a.rs\", \"rule\": \"x\", \"line\": 3}]}")
+            .unwrap();
+        assert!(load_baseline(&bad).unwrap_err().contains("reason"));
+        std::fs::write(&bad, "{\"baseline\": [{\"path\": \"a.rs\", \"rule\": \"x\", \"line\": 3, \"reason\": \"  \"}]}")
+            .unwrap();
+        assert!(load_baseline(&bad).unwrap_err().contains("reason"));
+        std::fs::write(&bad, "[]").unwrap();
+        assert!(load_baseline(&bad).unwrap_err().contains("baseline"));
     }
 }

@@ -12,7 +12,7 @@
 //! Corpus files are analyzed as operator-crate library code
 //! ([`FileClass::OperatorLib`]) so that every rule is in scope.
 
-use crate::engine::{analyze_source, FileClass, RULES};
+use crate::engine::{FileClass, RULES};
 use std::collections::BTreeMap;
 use std::path::Path;
 
@@ -94,7 +94,7 @@ pub fn score(dir: &Path) -> Result<Score, String> {
             let src = std::fs::read_to_string(&file)
                 .map_err(|e| format!("read {}: {e}", file.display()))?;
             let report =
-                analyze_source(&file.to_string_lossy(), FileClass::OperatorLib, &src);
+                crate::analyze_single(&file.to_string_lossy(), FileClass::OperatorLib, &src);
             score.cases += 1;
             let entry = score.per_rule.entry(rule.clone()).or_default();
             if positive {

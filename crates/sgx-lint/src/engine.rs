@@ -1,17 +1,23 @@
 //! Rule engine: applies the six model-integrity rules to a tokenized
 //! file, honoring `#[cfg(test)]` regions and allow-markers.
 
-use crate::tokenizer::{tokenize, Comment, Tok, TokKind};
+use crate::tokenizer::{tokenize, Comment, Lexed, Tok, TokKind};
 use std::collections::BTreeMap;
 
-/// The rule names, in reporting order.
-pub const RULES: [&str; 6] = [
+/// The rule names, in reporting order. The first six are token-level
+/// (this module); the last four are semantic, backed by the cross-file
+/// call graph ([`crate::semantic`]).
+pub const RULES: [&str; 10] = [
     "untracked-access",
     "nondeterminism",
     "counter-truncation",
     "panic-in-library",
     "unsafe-code",
     "swallowed-error",
+    "untracked-slice-taint",
+    "counter-conservation",
+    "fault-tick-coverage",
+    "calibration-provenance",
 ];
 
 /// Pseudo-rule reported for malformed/unknown allow-markers. Not
@@ -31,8 +37,9 @@ pub enum FileClass {
     Test,
 }
 
-/// One lint finding.
-#[derive(Debug, Clone)]
+/// One lint finding. The derived ordering (path, line, rule, message) is
+/// the canonical report order; identical findings dedupe away.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
 pub struct Finding {
     /// File the finding is in (as passed to the analyzer).
     pub path: String,
@@ -53,17 +60,24 @@ pub struct FileReport {
     pub suppressed: usize,
 }
 
-/// A parsed `// sgx-lint: allow(<rule>) <reason>` marker.
-#[derive(Debug)]
-struct Marker {
-    line: u32,
-    rule: String,
+/// Parsed `sgx-lint:` markers of one file.
+#[derive(Debug, Default)]
+pub(crate) struct Markers {
+    /// Well-formed `allow(<rule>) <reason>` markers as `(line, rule)`.
+    pub allows: Vec<(u32, String)>,
+    /// File carries the `calibration-file` pragma (opts into the
+    /// calibration-provenance rule).
+    pub calibration_file: bool,
 }
 
-/// Parse allow-markers out of the comments; malformed markers become
+/// Parse `sgx-lint:` markers out of the comments; malformed markers become
 /// findings immediately.
-fn parse_markers(path: &str, comments: &[Comment], findings: &mut Vec<Finding>) -> Vec<Marker> {
-    let mut markers = Vec::new();
+pub(crate) fn parse_markers(
+    path: &str,
+    comments: &[Comment],
+    findings: &mut Vec<Finding>,
+) -> Markers {
+    let mut markers = Markers::default();
     for c in comments {
         // Only comments that *start* with the marker count — prose that
         // merely mentions the syntax (docs, this file) is not a marker.
@@ -77,8 +91,14 @@ fn parse_markers(path: &str, comments: &[Comment], findings: &mut Vec<Finding>) 
                 message: msg.to_string(),
             });
         };
+        // File pragma: marks a calibration file whose numeric constants
+        // must carry `paper:`/`uarch:` provenance comments.
+        if rest == "calibration-file" || rest.starts_with("calibration-file ") {
+            markers.calibration_file = true;
+            continue;
+        }
         let Some(args) = rest.strip_prefix("allow(") else {
-            bad("marker must be `sgx-lint: allow(<rule>) <reason>`", findings);
+            bad("marker must be `sgx-lint: allow(<rule>) <reason>` or `sgx-lint: calibration-file`", findings);
             continue;
         };
         let Some(close) = args.find(')') else {
@@ -95,14 +115,14 @@ fn parse_markers(path: &str, comments: &[Comment], findings: &mut Vec<Finding>) 
             bad(&format!("allow({rule}) marker needs a reason"), findings);
             continue;
         }
-        markers.push(Marker { line: c.line, rule: rule.to_string() });
+        markers.allows.push((c.line, rule.to_string()));
     }
     markers
 }
 
 /// Mark tokens inside `#[cfg(test)] … { … }` regions and `#[test] fn`
 /// bodies as test code.
-fn test_mask(toks: &[Tok]) -> Vec<bool> {
+pub(crate) fn test_mask(toks: &[Tok]) -> Vec<bool> {
     let mut mask = vec![false; toks.len()];
     let is = |t: &Tok, s: &str| t.kind == TokKind::Ident && t.text == s;
     let p = |t: &Tok, c: u8| t.kind == TokKind::Punct(c);
@@ -237,9 +257,17 @@ fn counter_ish(ident: &str) -> bool {
     l.contains("cycle") || l.contains("counter") || l.contains("bytes") || l == "elapsed"
 }
 
-/// Analyze one file's source. `path` is only used for labeling findings.
+/// Analyze one file's source with the token-level rules. `path` is only
+/// used for labeling findings. Semantic rules are NOT run here — use
+/// [`crate::analyze_single`] or [`crate::analyze_paths`] for the full
+/// pass.
 pub fn analyze_source(path: &str, class: FileClass, src: &str) -> FileReport {
-    let lexed = tokenize(src);
+    analyze_lexed(path, class, &tokenize(src))
+}
+
+/// Token-rule pass over an already-lexed file (so workspace scans lex each
+/// file exactly once).
+pub fn analyze_lexed(path: &str, class: FileClass, lexed: &Lexed) -> FileReport {
     let toks = &lexed.tokens;
     let in_test = test_mask(toks);
     let mut raw: Vec<Finding> = Vec::new();
@@ -396,9 +424,9 @@ pub fn analyze_source(path: &str, class: FileClass, src: &str) -> FileReport {
     // Apply allow-markers: a marker suppresses findings of its rule on the
     // marker's own line and the line directly below it.
     let mut allowed: BTreeMap<(u32, &str), ()> = BTreeMap::new();
-    for m in &markers {
-        allowed.insert((m.line, m.rule.as_str()), ());
-        allowed.insert((m.line + 1, m.rule.as_str()), ());
+    for (line, rule) in &markers.allows {
+        allowed.insert((*line, rule.as_str()), ());
+        allowed.insert((*line + 1, rule.as_str()), ());
     }
     let mut suppressed = 0usize;
     for f in raw {

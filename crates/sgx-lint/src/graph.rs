@@ -1,0 +1,183 @@
+//! Workspace model: every scanned file, lexed and item-parsed once, plus a
+//! name-keyed function symbol table — the substrate the semantic rules
+//! ([`crate::semantic`]) run on.
+//!
+//! Functions are resolved by *name*, not by path: the workspace's own
+//! style (no glob re-exports, descriptive fn names) keeps collisions rare,
+//! and rules treat every same-named candidate rather than guessing. This
+//! buys a cross-file call graph with zero dependencies.
+
+use crate::engine::{self, FileClass, Finding};
+use crate::parse::{self, Items};
+use crate::tokenizer::{tokenize, Lexed};
+use std::collections::{BTreeMap, BTreeSet};
+use std::path::{Path, PathBuf};
+
+/// One file, fully preprocessed.
+pub struct FileCtx {
+    /// Path as passed in (findings are labeled with its display form).
+    pub path: PathBuf,
+    /// Display label for findings.
+    pub label: String,
+    /// Rule-scope class from [`crate::classify`].
+    pub class: FileClass,
+    /// Owning crate (`sgx-sim` for `crates/sgx-sim/src/x.rs`, `tests` for
+    /// repo-root integration tests, `""` for loose files).
+    pub crate_name: String,
+    /// Token stream + comments.
+    pub lexed: Lexed,
+    /// Per-token `#[cfg(test)]`/`#[test]` mask.
+    pub mask: Vec<bool>,
+    /// Parsed items.
+    pub items: Items,
+    /// Well-formed allow-markers as `(line, rule)` pairs.
+    pub allows: Vec<(u32, String)>,
+    /// True when the file carries the `// sgx-lint: calibration-file`
+    /// pragma (opts into the calibration-provenance rule).
+    pub calibration: bool,
+}
+
+/// The whole scanned set.
+pub struct Workspace {
+    /// Files in deterministic scan order.
+    pub files: Vec<FileCtx>,
+    /// Function symbol table: name → `(file index, fn index)` candidates.
+    pub fns: BTreeMap<String, Vec<(usize, usize)>>,
+}
+
+/// Derive the owning crate from a workspace-relative path.
+pub fn crate_of(path: &Path) -> String {
+    let comps: Vec<&str> = path.iter().filter_map(|c| c.to_str()).collect();
+    if let Some(w) = comps.windows(2).find(|w| w[0] == "crates") {
+        return w[1].to_string();
+    }
+    if comps.contains(&"tests") {
+        return "tests".to_string();
+    }
+    String::new()
+}
+
+impl Workspace {
+    /// Build the workspace from `(path, class, source)` triples. Malformed
+    /// allow-markers are NOT reported here (the token pass owns that); the
+    /// scratch findings are discarded.
+    pub fn build(entries: Vec<(PathBuf, FileClass, String)>) -> Workspace {
+        let mut files = Vec::with_capacity(entries.len());
+        for (path, class, src) in entries {
+            let lexed = tokenize(&src);
+            let mask = engine::test_mask(&lexed.tokens);
+            let items = parse::parse(&lexed);
+            let label = path.to_string_lossy().into_owned();
+            let mut scratch: Vec<Finding> = Vec::new();
+            let markers = engine::parse_markers(&label, &lexed.comments, &mut scratch);
+            let crate_name = crate_of(&path);
+            files.push(FileCtx {
+                path,
+                label,
+                class,
+                crate_name,
+                lexed,
+                mask,
+                items,
+                allows: markers.allows,
+                calibration: markers.calibration_file,
+            });
+        }
+        let mut fns: BTreeMap<String, Vec<(usize, usize)>> = BTreeMap::new();
+        for (fi, f) in files.iter().enumerate() {
+            for (ni, item) in f.items.fns.iter().enumerate() {
+                fns.entry(item.name.clone()).or_default().push((fi, ni));
+            }
+        }
+        Workspace { files, fns }
+    }
+
+    /// Does an allow-marker in `file` suppress a `rule` finding on `line`?
+    /// Same policy as the token pass: marker line and the line below.
+    pub fn allowed(&self, file: usize, line: u32, rule: &str) -> bool {
+        self.files[file]
+            .allows
+            .iter()
+            .any(|(l, r)| r == rule && (*l == line || l + 1 == line))
+    }
+
+    /// Names of `root` and every function it transitively calls *within
+    /// the same file*. Used to exempt the fault-engine's own charge paths
+    /// from fault-tick-coverage.
+    pub fn within_file_closure(&self, file: usize, root: &str) -> BTreeSet<String> {
+        let f = &self.files[file];
+        let mut seen: BTreeSet<String> = BTreeSet::new();
+        let mut queue: Vec<String> = vec![root.to_string()];
+        while let Some(name) = queue.pop() {
+            if !seen.insert(name.clone()) {
+                continue;
+            }
+            for item in f.items.fns.iter().filter(|i| i.name == name) {
+                for call in &item.calls {
+                    if !seen.contains(&call.callee)
+                        && f.items.fns.iter().any(|i| i.name == call.callee)
+                    {
+                        queue.push(call.callee.clone());
+                    }
+                }
+            }
+        }
+        seen
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ws(sources: &[(&str, FileClass, &str)]) -> Workspace {
+        Workspace::build(
+            sources
+                .iter()
+                .map(|(p, c, s)| (PathBuf::from(p), *c, s.to_string()))
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn crate_names_from_paths() {
+        assert_eq!(crate_of(Path::new("crates/sgx-sim/src/machine.rs")), "sgx-sim");
+        assert_eq!(crate_of(Path::new("tests/integration_joins.rs")), "tests");
+        assert_eq!(crate_of(Path::new("loose.rs")), "");
+    }
+
+    #[test]
+    fn symbol_table_spans_files() {
+        let w = ws(&[
+            ("crates/a/src/lib.rs", FileClass::Lib, "fn shared() {} fn only_a() {}"),
+            ("crates/b/src/lib.rs", FileClass::Lib, "fn shared() {} fn only_b() { shared(); }"),
+        ]);
+        assert_eq!(w.fns["shared"].len(), 2);
+        assert_eq!(w.fns["only_a"], [(0, 1)]);
+    }
+
+    #[test]
+    fn closure_is_transitive_and_file_local() {
+        let w = ws(&[(
+            "crates/a/src/lib.rs",
+            FileClass::Lib,
+            "fn root() { mid(); } fn mid() { leaf(); } fn leaf() {} fn other() {}",
+        )]);
+        let c = w.within_file_closure(0, "root");
+        assert!(c.contains("root") && c.contains("mid") && c.contains("leaf"));
+        assert!(!c.contains("other"));
+    }
+
+    #[test]
+    fn allow_markers_cover_two_lines() {
+        let w = ws(&[(
+            "crates/a/src/lib.rs",
+            FileClass::Lib,
+            "// sgx-lint: allow(unsafe-code) vetted intrinsic\nfn f() {}\n",
+        )]);
+        assert!(w.allowed(0, 1, "unsafe-code"));
+        assert!(w.allowed(0, 2, "unsafe-code"));
+        assert!(!w.allowed(0, 3, "unsafe-code"));
+        assert!(!w.allowed(0, 1, "nondeterminism"));
+    }
+}

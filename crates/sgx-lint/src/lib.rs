@@ -17,6 +17,15 @@
 //! | `panic-in-library` | `unwrap()`/`expect()`/`panic!`/`todo!`/`unimplemented!` in non-test library code |
 //! | `unsafe-code` | any `unsafe` outside the allow-list (everywhere, including tests) |
 //! | `swallowed-error` | `let _ = <fallible call>(…)` and bare `.ok();` in non-test library code (discards a Result) |
+//! | `untracked-slice-taint` | a slice born from `as_slice_untracked` flowing into a function that indexes/iterates it (cross-file call-graph taint) |
+//! | `counter-conservation` | `Counters` fields never written (dead) or never read outside the defining crate (unattributed) |
+//! | `fault-tick-coverage` | cycle-charging functions in the `fault_tick` file that never reach `fault_tick` |
+//! | `calibration-provenance` | numeric constants in `// sgx-lint: calibration-file` files without a `paper:`/`uarch:` comment |
+//!
+//! The first six rules are token-level and per-file; the last four are
+//! *semantic*: [`analyze_paths`] lexes and item-parses every file once,
+//! builds a workspace-wide symbol table and call graph ([`graph`]), and
+//! runs the semantic pass ([`semantic`]) across file boundaries.
 //!
 //! A finding is suppressed by an allow-marker comment on the same or the
 //! preceding line, with a mandatory reason:
@@ -25,9 +34,13 @@
 //! // sgx-lint: allow(nondeterminism) insert-only set, iteration order never observed
 //! ```
 //!
-//! Run as `cargo run -p sgx-lint -- [--json] [paths...]` (default scan
-//! root: `crates`), or score the bundled corpus with
+//! Run as `cargo run -p sgx-lint -- [--format text|json] [--baseline
+//! file.json] [paths...]` (default scan root: `crates`), or score the
+//! bundled corpus with
 //! `cargo run -p sgx-lint -- --score-corpus crates/sgx-lint/corpus`.
+//! `--format json` renders through `sgx_bench_core::json` and is
+//! byte-identical across runs; `--baseline` applies a checked-in waiver
+//! file and reports stale entries as `stale-baseline` findings.
 //!
 //! Deliberately out of scope: `SimVec::peek`/`poke`. Those are the
 //! documented single-element *setup* accessors (data generation,
@@ -42,6 +55,9 @@
 pub mod cli;
 pub mod corpus;
 pub mod engine;
+pub mod graph;
+pub mod parse;
+pub mod semantic;
 pub mod tokenizer;
 
 pub use engine::{analyze_source, FileClass, FileReport, Finding, RULES};
@@ -107,19 +123,54 @@ fn walk(path: &Path, out: &mut Vec<PathBuf>) {
     }
 }
 
-/// Analyze every `.rs` file under `roots`, returning per-file reports in
-/// deterministic order. Paths are classified with [`classify`].
+/// Analyze every `.rs` file under `roots`: the token rules per file plus
+/// the semantic rules across the whole scanned set. Reports come back in
+/// deterministic path order; within a file, findings are sorted by
+/// (line, rule, message) and deduplicated. Paths are classified with
+/// [`classify`].
 pub fn analyze_paths(roots: &[PathBuf]) -> Vec<(PathBuf, FileReport)> {
-    let mut reports = Vec::new();
+    let mut entries: Vec<(PathBuf, FileClass, String)> = Vec::new();
     for root in roots {
         for file in collect_rust_files(root) {
             let Ok(src) = std::fs::read_to_string(&file) else {
                 continue;
             };
             let class = classify(&file);
-            let label = file.to_string_lossy().into_owned();
-            reports.push((file, analyze_source(&label, class, &src)));
+            entries.push((file, class, src));
         }
+    }
+    entries.sort_by(|a, b| a.0.cmp(&b.0));
+    entries.dedup_by(|a, b| a.0 == b.0);
+    let ws = graph::Workspace::build(entries);
+    finish(ws)
+}
+
+/// Full analysis (token + semantic) of one in-memory file — the corpus
+/// scorer's entry point. The single file forms its own workspace, so the
+/// semantic rules run in their single-crate fallback modes.
+pub fn analyze_single(label: &str, class: FileClass, src: &str) -> FileReport {
+    let ws = graph::Workspace::build(vec![(PathBuf::from(label), class, src.to_string())]);
+    finish(ws).pop().map(|(_, r)| r).unwrap_or_default()
+}
+
+/// Run both passes over a built workspace and merge per-file reports.
+fn finish(ws: graph::Workspace) -> Vec<(PathBuf, FileReport)> {
+    let mut reports: Vec<(PathBuf, FileReport)> = ws
+        .files
+        .iter()
+        .map(|f| (f.path.clone(), engine::analyze_lexed(&f.label, f.class, &f.lexed)))
+        .collect();
+    for (fi, finding) in semantic::run(&ws) {
+        let report = &mut reports[fi].1;
+        if ws.allowed(fi, finding.line, &finding.rule) {
+            report.suppressed += 1;
+        } else {
+            report.findings.push(finding);
+        }
+    }
+    for (_, report) in &mut reports {
+        report.findings.sort();
+        report.findings.dedup();
     }
     reports
 }

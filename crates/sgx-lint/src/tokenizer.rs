@@ -109,8 +109,12 @@ pub fn tokenize(src: &str) -> Lexed {
                 i = j;
             }
             b'"' => {
-                let j = skip_string(b, i, &mut line);
-                out.tokens.push(Tok { line, kind: TokKind::Str, text: String::new() });
+                // Capture the start line first: skip_string advances `line`
+                // past embedded newlines, and the token must anchor to where
+                // the literal opens, not where it closes.
+                let from = line;
+                let j = skip_string(b, i, false, &mut line);
+                out.tokens.push(Tok { line: from, kind: TokKind::Str, text: String::new() });
                 i = j;
             }
             b'\'' => {
@@ -151,13 +155,22 @@ pub fn tokenize(src: &str) -> Lexed {
                     j += 1;
                 }
                 let text = std::str::from_utf8(&b[start..j]).unwrap_or("").to_string();
-                // String prefixes: r"", r#""#, b"", br"", rb"".
-                let next = b.get(j).copied();
-                let is_str_prefix = matches!(text.as_str(), "r" | "b" | "br" | "rb")
-                    && (next == Some(b'"') || (next == Some(b'#') && text != "b"));
+                // String prefixes: r"", r#""#, b"", br"", rb"". A raw prefix
+                // only opens a string when the hash run actually ends in a
+                // quote — `r#ident` is a raw identifier, not a string.
+                let raw_prefix = matches!(text.as_str(), "r" | "br" | "rb");
+                let is_str_prefix = matches!(text.as_str(), "r" | "b" | "br" | "rb") && {
+                    let mut k = j;
+                    if raw_prefix {
+                        while b.get(k) == Some(&b'#') {
+                            k += 1;
+                        }
+                    }
+                    b.get(k) == Some(&b'"')
+                };
                 if is_str_prefix {
                     let from = line;
-                    let k = skip_string(b, j, &mut line);
+                    let k = skip_string(b, j, raw_prefix, &mut line);
                     out.tokens.push(Tok { line: from, kind: TokKind::Str, text: String::new() });
                     i = k;
                 } else {
@@ -202,30 +215,36 @@ pub fn tokenize(src: &str) -> Lexed {
     out
 }
 
-/// Skip a string literal starting at `b[i]` (which is `"` or a raw-string
-/// `#`/`"` run). Returns the index just past the closing delimiter and
-/// updates `line` for embedded newlines.
-fn skip_string(b: &[u8], i: usize, line: &mut u32) -> usize {
+/// Skip a string literal starting at `b[i]` (which is `"` or, for `raw`
+/// strings, an optional `#` run followed by `"`). Returns the index just
+/// past the closing delimiter and updates `line` for embedded newlines.
+///
+/// `raw` matters even with zero hashes: in `r"C:\dir"` the backslash is a
+/// literal byte, not an escape — treating it as an escape made the old
+/// lexer swallow the closing quote and mis-lex the rest of the file.
+fn skip_string(b: &[u8], i: usize, raw: bool, line: &mut u32) -> usize {
     let mut j = i;
-    // Count leading '#' for raw strings.
+    // Count leading '#' of a raw string delimiter.
     let mut hashes = 0usize;
-    while b.get(j) == Some(&b'#') {
-        hashes += 1;
-        j += 1;
+    if raw {
+        while b.get(j) == Some(&b'#') {
+            hashes += 1;
+            j += 1;
+        }
     }
     if b.get(j) != Some(&b'"') {
-        // Not actually a string (e.g. `r#ident` raw identifier); treat the
-        // hashes as consumed punctuation.
+        // Caller mis-guessed (defensive; the prefix check rules this out).
         return j.max(i + 1);
     }
     j += 1;
-    if hashes > 0 {
-        // Raw string: ends at `"` followed by the same number of hashes.
+    if raw {
+        // Raw string: no escapes; ends at `"` followed by `hashes` hashes.
         while j < b.len() {
             if b[j] == b'\n' {
                 *line += 1;
             }
-            if b[j] == b'"' && b[j + 1..].iter().take(hashes).filter(|&&c| c == b'#').count() == hashes
+            if b[j] == b'"'
+                && b[j + 1..].iter().take(hashes).take_while(|&&c| c == b'#').count() == hashes
             {
                 return j + 1 + hashes;
             }
@@ -310,5 +329,61 @@ mod tests {
         let lx = tokenize(src);
         let after = lx.tokens.iter().find(|t| t.text == "after").unwrap();
         assert_eq!(after.line, 3);
+    }
+
+    #[test]
+    fn multiline_string_token_anchors_to_opening_line() {
+        let src = "let s = \"line\nbreak\";\nafter();";
+        let lx = tokenize(src);
+        let s = lx.tokens.iter().find(|t| t.kind == TokKind::Str).unwrap();
+        assert_eq!(s.line, 1, "string token carries the line it opens on");
+    }
+
+    #[test]
+    fn zero_hash_raw_strings_do_not_escape() {
+        // In r"..\" the backslash is literal; the string ends at the quote.
+        // The old lexer treated \" as an escape and swallowed the closer,
+        // mis-lexing everything after it.
+        let src = r#"let p = r"C:\dir\"; hidden_in_string(); "#;
+        let src = format!("{src}\nvisible();");
+        let lx = tokenize(&src);
+        let ids: Vec<&str> = lx.tokens.iter().map(|t| t.text.as_str()).collect();
+        assert!(ids.contains(&"hidden_in_string"), "code after r\"..\\\" must lex");
+        assert!(ids.contains(&"visible"));
+    }
+
+    #[test]
+    fn raw_identifiers_are_not_strings() {
+        let lx = tokenize("let r#type = r#match + other;");
+        let ids = lx.tokens.iter().filter(|t| t.kind == TokKind::Ident).count();
+        // let, r, type, r, match, other — no Str tokens at all.
+        assert_eq!(lx.tokens.iter().filter(|t| t.kind == TokKind::Str).count(), 0);
+        assert!(ids >= 5);
+        assert!(lx.tokens.iter().any(|t| t.text == "other"));
+    }
+
+    #[test]
+    fn multiline_raw_strings_track_lines() {
+        let src = "let q = r#\"select *\nfrom t\nwhere x\"#;\nafter();";
+        let lx = tokenize(src);
+        let q = lx.tokens.iter().find(|t| t.kind == TokKind::Str).unwrap();
+        assert_eq!(q.line, 1);
+        let after = lx.tokens.iter().find(|t| t.text == "after").unwrap();
+        assert_eq!(after.line, 4);
+    }
+
+    #[test]
+    fn deeply_nested_block_comments_terminate() {
+        let src = "/* a /* b /* c */ b */ a */ code();";
+        let lx = tokenize(src);
+        assert!(lx.tokens.iter().any(|t| t.text == "code"));
+        assert_eq!(lx.comments.len(), 1);
+    }
+
+    #[test]
+    fn unterminated_literals_do_not_panic() {
+        for src in ["let s = \"never closed", "let s = r#\"never closed\"", "/* open", "r#"] {
+            let _ = tokenize(src);
+        }
     }
 }

@@ -71,7 +71,7 @@ impl Counters {
     /// print after a run).
     pub fn report(&self) -> String {
         let mut out = String::new();
-        let rows: [(&str, u64); 17] = [
+        let rows: [(&str, u64); 21] = [
             ("loads", self.loads),
             ("stores", self.stores),
             ("L1 hits", self.l1_hits),
@@ -82,10 +82,14 @@ impl Counters {
             ("  EPC (MEE)", self.epc_fills),
             ("  remote (UPI)", self.remote_fills),
             ("writebacks", self.writebacks),
+            ("stream lines", self.stream_lines),
             ("transitions", self.transitions),
+            ("futex waits", self.futex_waits),
             ("EDMM pages", self.edmm_pages),
             ("EPC page faults", self.epc_page_faults),
             ("TLB misses", self.tlb_misses),
+            ("ALU ops", self.alu_ops),
+            ("vector ops", self.vec_ops),
             ("enclave issue groups", self.enclave_groups),
             ("AEX events", self.aex_events),
             ("OCALL retries", self.ocall_retries),

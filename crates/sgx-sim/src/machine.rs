@@ -694,6 +694,7 @@ impl<'m> Core<'m> {
     #[inline]
     pub fn branch(&mut self, miss_prob: f64) {
         self.cycles += miss_prob.clamp(0.0, 1.0) * BRANCH_MISS_CYCLES;
+        self.fault_tick();
     }
 
     /// Charge one enclave boundary crossing (no-op natively).
@@ -701,6 +702,7 @@ impl<'m> Core<'m> {
         if self.m.mode == ExecMode::Enclave {
             self.cycles += self.m.cfg.transitions.transition_cycles;
             self.m.counters.transitions += 1;
+            self.fault_tick();
         }
     }
 
@@ -955,16 +957,16 @@ impl<'m> Core<'m> {
                     self.cycles += self.m.cfg.edmm.page_add_cycles;
                     self.edmm_pages += 1;
                     self.m.counters.edmm_pages += 1;
+                    self.fault_tick();
                 }
             }
         }
-        if let Some(pager) = &mut self.m.pager {
-            let fault = pager.touch(addr);
-            if fault > 0.0 {
-                self.cycles += fault;
-                self.faults += 1;
-                self.m.counters.epc_page_faults += 1;
-            }
+        let fault = self.m.pager.as_mut().map_or(0.0, |pager| pager.touch(addr));
+        if fault > 0.0 {
+            self.cycles += fault;
+            self.faults += 1;
+            self.m.counters.epc_page_faults += 1;
+            self.fault_tick();
         }
     }
 
@@ -1012,6 +1014,7 @@ impl<'m> Core<'m> {
         }
         self.cycles += self.m.cfg.mem.writeback_line_cycles
             / self.m.cfg.mem.mlp_native.max(1.0);
+        self.fault_tick();
     }
 
     /// Charge one non-temporal 64-byte store to `addr` (software

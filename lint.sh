@@ -1,15 +1,15 @@
 #!/usr/bin/env sh
 # Run the sgx-lint model-integrity pass over the workspace.
 #
-#   ./lint.sh                  # lint crates/ and tests/ (text output)
-#   ./lint.sh --json           # machine-readable findings
-#   ./lint.sh crates/sgx-sim   # lint a subtree
+#   ./lint.sh                  # lint crates/ and tests/ against the baseline
+#   ./lint.sh --format json    # machine-readable deterministic report
+#   ./lint.sh crates/sgx-sim   # lint a subtree (no baseline)
 #   ./lint.sh --score-corpus crates/sgx-lint/corpus   # rule self-check
 #
-# Exit codes: 0 clean, 1 findings, 2 usage error.
+# Exit codes: 0 clean, 1 findings (or stale baseline entries), 2 usage error.
 set -eu
 cd "$(dirname "$0")"
 if [ "$#" -eq 0 ]; then
-    set -- crates tests
+    set -- --baseline lint-baseline.json crates tests
 fi
 exec cargo run --release -q -p sgx-lint -- "$@"
