@@ -77,6 +77,41 @@ if grep -q '"status": "failed"' "$MANIFEST" || grep -q '"status": "skipped"' "$M
     exit 1
 fi
 
+echo "== ci: layered facade size gate"
+MACHINE_LINES=$(wc -l < crates/sgx-sim/src/machine.rs)
+if [ "$MACHINE_LINES" -gt 400 ]; then
+    echo "ci: FAIL — machine.rs facade is $MACHINE_LINES lines (gate: 400); grow the layer modules under crates/sgx-sim/src/machine/ instead" >&2
+    exit 1
+fi
+echo "ci: machine.rs facade at $MACHINE_LINES lines (gate: 400)"
+
+echo "== ci: parallel determinism (--jobs 1 vs --jobs 2, byte-identical outputs)"
+FIG_TMP=$(mktemp -d)
+T0=$(date +%s)
+"$BIN" --scale 256 --reps 1 --jobs 1 >/dev/null
+T1=$(date +%s)
+mkdir -p "$FIG_TMP/jobs1"
+cp target/figures/*.json target/figures/*.svg "$FIG_TMP/jobs1/"
+"$BIN" --normalize-manifest "$MANIFEST" > "$FIG_TMP/jobs1.manifest.normalized.json"
+T2=$(date +%s)
+"$BIN" --scale 256 --reps 1 --jobs 2 >/dev/null
+T3=$(date +%s)
+"$BIN" --normalize-manifest "$MANIFEST" > "$FIG_TMP/jobs2.manifest.normalized.json"
+echo "ci: timings — jobs=1: $((T1 - T0))s, jobs=2: $((T3 - T2))s (a 1-CPU container shows no speedup; multi-core hosts do)"
+if ! cmp -s "$FIG_TMP/jobs1.manifest.normalized.json" "$FIG_TMP/jobs2.manifest.normalized.json"; then
+    echo "ci: FAIL — normalized manifests differ between --jobs 1 and --jobs 2" >&2
+    exit 1
+fi
+for f in "$FIG_TMP"/jobs1/*.json "$FIG_TMP"/jobs1/*.svg; do
+    name=$(basename "$f")
+    case "$name" in manifest*) continue ;; esac
+    if ! cmp -s "$f" "target/figures/$name"; then
+        echo "ci: FAIL — $name differs between --jobs 1 and --jobs 2" >&2
+        exit 1
+    fi
+done
+rm -rf "$FIG_TMP"
+
 echo "== ci: all_figures negative check (injected failure)"
 rm -f target/figures/fig05.json
 if ALL_FIGURES_FAIL=fig07 "$BIN" --only fig05,fig07 --scale 256 --reps 1 >/dev/null 2>&1; then

@@ -1,75 +1,127 @@
-//! Regenerate every table and figure of the paper — resiliently.
+//! Regenerate every table and figure of the paper — resiliently and in
+//! parallel.
 //!
-//! Each figure job runs behind `catch_unwind`: a panicking experiment (a
-//! violated shape assertion, a model regression) is recorded and the run
-//! continues, so one broken figure no longer costs the whole suite. The
-//! outcome of every registered job lands in `target/figures/manifest.json`
-//! (schema `sgx-bench-manifest/1`, byte-stable), and the process exits
-//! nonzero if anything failed.
+//! Figure jobs run on a work-stealing-lite thread pool
+//! (`sgx_bench_core::runner::run_registry`): `--jobs N` worker threads
+//! pull jobs from a shared cursor, each job owns its own deterministic
+//! `Machine`s, and results are committed in registry order — so every
+//! figure JSON and the normalized manifest are byte-identical for any
+//! `--jobs` value (proven by `tests/integration_equivalence.rs` and the
+//! `ci.sh` double-run diff). A panicking experiment (a violated shape
+//! assertion, a model regression) is isolated and recorded, the run
+//! continues, and the process exits nonzero if anything failed. The
+//! outcome of every registered job lands in
+//! `target/figures/manifest.json` (schema `sgx-bench-manifest/1`).
 //!
 //! Options:
 //!   `--full` / `--reps N` / `--scale N`   profile selection (as before)
+//!   `--jobs N`                            worker threads (default: all cores)
 //!   `--only id[,id...]`                   run only the named jobs
 //!   `--skip id[,id...]`                   exclude the named jobs
 //!   `--retry-failed`                      `--only` = failed ids of the last manifest
 //!   `--list`                              print registered job ids and exit
+//!   `--normalize-manifest FILE`           print FILE with seconds zeroed and exit
+//!                                         (for determinism byte-diffs)
 
-use std::panic::{self, AssertUnwindSafe};
 use std::process::ExitCode;
-// Wall-clock timing is confined to this harness binary: it feeds the
-// manifest's `seconds` diagnostics, never a simulated measurement.
-// sgx-lint: allow(nondeterminism) harness-only wall-clock for manifest timings
-use std::time::Instant as WallClock;
 
-use sgx_bench_core::runner::{registry, JobFilter, JobStatus, Manifest, ManifestEntry};
+use sgx_bench_core::runner::{
+    default_jobs, registry, JobFilter, JobStatus, Manifest, RunConfig,
+};
+use sgx_bench_core::sgx_sim::Counters;
 use sgx_bench_core::RunOpts;
 
 const MANIFEST_PATH: &str = "target/figures/manifest.json";
 
-/// Split the harness-specific flags out of `argv`; the remainder goes to
-/// `RunOpts::parse_from` (which ignores what it does not know).
-fn parse_harness_args(
-    args: impl IntoIterator<Item = String>,
-) -> Result<(JobFilter, bool, bool, Vec<String>), String> {
-    let mut filter = JobFilter::default();
-    let mut list = false;
-    let mut retry_failed = false;
-    let mut rest = Vec::new();
+/// Everything the harness-specific flags parse into; the remainder of
+/// argv goes to `RunOpts::parse_from` (which ignores what it does not
+/// know).
+struct HarnessArgs {
+    filter: JobFilter,
+    jobs: usize,
+    list: bool,
+    retry_failed: bool,
+    normalize: Option<String>,
+    rest: Vec<String>,
+}
+
+fn parse_harness_args(args: impl IntoIterator<Item = String>) -> Result<HarnessArgs, String> {
+    let mut parsed = HarnessArgs {
+        filter: JobFilter::default(),
+        jobs: default_jobs(),
+        list: false,
+        retry_failed: false,
+        normalize: None,
+        rest: Vec::new(),
+    };
     let mut it = args.into_iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--only" | "--skip" => {
                 let val = it.next().ok_or_else(|| format!("{arg} needs a job id list"))?;
-                let dst = if arg == "--only" { &mut filter.only } else { &mut filter.skip };
+                let dst =
+                    if arg == "--only" { &mut parsed.filter.only } else { &mut parsed.filter.skip };
                 dst.extend(
                     val.split(',').map(str::trim).filter(|s| !s.is_empty()).map(String::from),
                 );
             }
-            "--list" => list = true,
-            "--retry-failed" => retry_failed = true,
-            _ => rest.push(arg),
+            "--jobs" => {
+                let val = it.next().ok_or_else(|| "--jobs needs a thread count".to_string())?;
+                parsed.jobs = match val.as_str() {
+                    "max" => default_jobs(),
+                    n => n
+                        .parse::<usize>()
+                        .ok()
+                        .filter(|&n| n >= 1)
+                        .ok_or_else(|| format!("--jobs needs a positive integer or 'max', got {n:?}"))?,
+                };
+            }
+            "--normalize-manifest" => {
+                let val = it.next().ok_or_else(|| "--normalize-manifest needs a file".to_string())?;
+                parsed.normalize = Some(val);
+            }
+            "--list" => parsed.list = true,
+            "--retry-failed" => parsed.retry_failed = true,
+            _ => parsed.rest.push(arg),
         }
     }
-    Ok((filter, list, retry_failed, rest))
+    Ok(parsed)
 }
 
 fn main() -> ExitCode {
-    let parsed = parse_harness_args(std::env::args().skip(1));
-    let (mut filter, list, retry_failed, rest) = match parsed {
+    let mut args = match parse_harness_args(std::env::args().skip(1)) {
         Ok(p) => p,
         Err(e) => {
             eprintln!("error: {e}");
             return ExitCode::FAILURE;
         }
     };
+    if let Some(path) = &args.normalize {
+        // Normalization mode: reprint an existing manifest with timing
+        // noise removed, for byte-identity comparisons.
+        let normalized = std::fs::read_to_string(path)
+            .map_err(|e| e.to_string())
+            .and_then(|t| Manifest::from_json(&t))
+            .map(|m| m.normalized().to_json());
+        return match normalized {
+            Ok(json) => {
+                println!("{json}");
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("error: --normalize-manifest {path}: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
     let jobs = registry();
-    if list {
+    if args.list {
         for job in &jobs {
             println!("{}", job.id);
         }
         return ExitCode::SUCCESS;
     }
-    if retry_failed {
+    if args.retry_failed {
         let prev = std::fs::read_to_string(MANIFEST_PATH)
             .map_err(|e| e.to_string())
             .and_then(|t| Manifest::from_json(&t));
@@ -81,7 +133,7 @@ fn main() -> ExitCode {
                     return ExitCode::SUCCESS;
                 }
                 eprintln!("--retry-failed: re-running {}", failed.join(", "));
-                filter.only.extend(failed);
+                args.filter.only.extend(failed);
             }
             Err(e) => {
                 eprintln!("error: --retry-failed could not read {MANIFEST_PATH}: {e}");
@@ -89,76 +141,35 @@ fn main() -> ExitCode {
             }
         }
     }
-    let unknown = filter.unknown_ids(&jobs);
+    let unknown = args.filter.unknown_ids(&jobs);
     if !unknown.is_empty() {
         eprintln!("error: unknown job id(s): {} (see --list)", unknown.join(", "));
         return ExitCode::FAILURE;
     }
 
-    let profile = RunOpts::parse_from(rest).profile();
-    eprintln!("profile: {} (data 1/{}, {} reps)", profile.hw.name, profile.data_div, profile.reps);
+    let profile = RunOpts::parse_from(args.rest).profile();
+    eprintln!(
+        "profile: {} (data 1/{}, {} reps, {} jobs)",
+        profile.hw.name, profile.data_div, profile.reps, args.jobs
+    );
 
-    // Deterministic failure hook for the CI negative test: the job named in
-    // ALL_FIGURES_FAIL panics before its experiment runs.
-    let injected_failure = std::env::var("ALL_FIGURES_FAIL").ok();
+    let cfg = RunConfig {
+        jobs: args.jobs,
+        filter: args.filter,
+        // Deterministic failure hook for the CI negative test.
+        fail_injection: std::env::var("ALL_FIGURES_FAIL").ok(),
+    };
+    let outcomes = sgx_bench_core::runner::run_registry(&jobs, &profile, &cfg);
 
-    let mut manifest = Manifest::default();
-    for job in &jobs {
-        if !filter.selects(job.id) {
-            manifest.entries.push(ManifestEntry {
-                id: job.id.to_string(),
-                status: JobStatus::Skipped,
-                seconds: 0.0,
-                error: None,
-                outputs: Vec::new(),
-            });
-            continue;
-        }
-        eprintln!("[{}] running...", job.id);
-        let started = WallClock::now();
-        let run = job.run;
-        let outcome = panic::catch_unwind(AssertUnwindSafe(|| {
-            if injected_failure.as_deref() == Some(job.id) {
-                panic!("injected failure via ALL_FIGURES_FAIL={}", job.id);
-            }
-            run(&profile)
-        }));
-        let seconds = started.elapsed().as_secs_f64();
-        match outcome {
-            Ok(figures) => {
-                let outputs: Vec<String> = figures.iter().map(|f| f.id.clone()).collect();
-                for figure in &figures {
-                    figure.emit();
-                }
-                eprintln!("[{}] ok ({seconds:.2}s)", job.id);
-                manifest.entries.push(ManifestEntry {
-                    id: job.id.to_string(),
-                    status: JobStatus::Ok,
-                    seconds,
-                    error: None,
-                    outputs,
-                });
-            }
-            Err(cause) => {
-                let message = if let Some(s) = cause.downcast_ref::<&str>() {
-                    (*s).to_string()
-                } else if let Some(s) = cause.downcast_ref::<String>() {
-                    s.clone()
-                } else {
-                    "non-string panic payload".to_string()
-                };
-                eprintln!("[{}] FAILED ({seconds:.2}s): {message}", job.id);
-                manifest.entries.push(ManifestEntry {
-                    id: job.id.to_string(),
-                    status: JobStatus::Failed,
-                    seconds,
-                    error: Some(message),
-                    outputs: Vec::new(),
-                });
-            }
+    // Emission happens on the main thread in registry order, after all
+    // jobs finished — output files never depend on scheduling.
+    for outcome in &outcomes {
+        for figure in &outcome.figures {
+            figure.emit();
         }
     }
 
+    let manifest = Manifest::from_outcomes(&outcomes);
     let (n_ok, n_failed, n_skipped) = (
         manifest.count(JobStatus::Ok),
         manifest.count(JobStatus::Failed),
@@ -171,6 +182,17 @@ fn main() -> ExitCode {
         eprintln!("error: could not write {MANIFEST_PATH}: {e}");
         return ExitCode::FAILURE;
     }
+
+    // Aggregate counter table: the merged totals of every machine every
+    // job created — harness-level observability for "where did the run's
+    // simulated work go".
+    let mut total = Counters::default();
+    for outcome in &outcomes {
+        total.merge(&outcome.counters);
+    }
+    println!("== aggregate simulated counters ({n_ok} jobs ok) ==");
+    print!("{}", total.report());
+
     eprintln!("manifest: {MANIFEST_PATH} ({n_ok} ok, {n_failed} failed, {n_skipped} skipped)");
     if n_failed > 0 {
         eprintln!("failed jobs: {}", manifest.failed_ids().join(", "));

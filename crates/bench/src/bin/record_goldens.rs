@@ -1,0 +1,56 @@
+//! Record the refactor-equivalence goldens (`tests/goldens/`).
+//!
+//! Runs the full figure registry sequentially under the dedicated golden
+//! profile (`BenchProfile::golden()`), digests every figure's JSON bytes
+//! and every job's counter report, and writes
+//! `tests/goldens/figure_digests.json`. The digests pin the cost model:
+//! `tests/integration_equivalence.rs` asserts that later trees — and
+//! parallel `--jobs N` runs — reproduce them bit-for-bit.
+//!
+//! Re-run this bin ONLY when a PR deliberately changes the model (new
+//! experiment, recalibrated constant) — never to paper over an
+//! unexplained mismatch; that mismatch is the tool working.
+
+use std::process::ExitCode;
+
+use sgx_bench_core::golden::{counters_digest, figure_digest, GoldenJob, Goldens};
+use sgx_bench_core::runner::{registry, run_registry, JobStatus, RunConfig};
+use sgx_bench_core::BenchProfile;
+
+const GOLDENS_PATH: &str = "tests/goldens/figure_digests.json";
+
+fn main() -> ExitCode {
+    let jobs = registry();
+    let profile = BenchProfile::golden();
+    eprintln!("recording goldens under profile: {}", BenchProfile::golden_tag());
+    // Sequential on purpose: the goldens define the reference outcome,
+    // and `jobs: 1` is exactly the pre-parallel harness behavior.
+    let cfg = RunConfig { jobs: 1, ..RunConfig::default() };
+    let outcomes = run_registry(&jobs, &profile, &cfg);
+    let failed: Vec<&str> =
+        outcomes.iter().filter(|o| o.status != JobStatus::Ok).map(|o| o.id.as_str()).collect();
+    if !failed.is_empty() {
+        eprintln!("error: goldens need every job ok; failed/skipped: {}", failed.join(", "));
+        return ExitCode::FAILURE;
+    }
+    let goldens = Goldens {
+        profile: BenchProfile::golden_tag().to_string(),
+        jobs: outcomes
+            .iter()
+            .map(|o| GoldenJob {
+                id: o.id.clone(),
+                counters: counters_digest(&o.counters),
+                figures: o.figures.iter().map(|f| (f.id.clone(), figure_digest(f))).collect(),
+            })
+            .collect(),
+    };
+    let write = std::fs::create_dir_all("tests/goldens")
+        .map_err(|e| e.to_string())
+        .and_then(|()| std::fs::write(GOLDENS_PATH, goldens.to_json()).map_err(|e| e.to_string()));
+    if let Err(e) = write {
+        eprintln!("error: could not write {GOLDENS_PATH}: {e}");
+        return ExitCode::FAILURE;
+    }
+    eprintln!("wrote {GOLDENS_PATH} ({} jobs)", goldens.jobs.len());
+    ExitCode::SUCCESS
+}

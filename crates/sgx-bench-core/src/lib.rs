@@ -37,6 +37,7 @@
 
 pub mod chart;
 pub mod experiments;
+pub mod golden;
 pub mod json;
 pub mod profiles;
 pub mod report;

@@ -97,6 +97,23 @@ impl BenchProfile {
         BenchProfile { hw: xeon_gold_6326().scaled(64), data_div: 64, reps: 1 }
     }
 
+    /// The refactor-equivalence profile (1/512 machine and data): the
+    /// smallest scale at which every registered figure job passes its
+    /// shape assertions, so the equivalence suite can afford to run the
+    /// full registry. `record_goldens`, `tests/integration_equivalence.rs`
+    /// and the goldens in `tests/goldens/` must all agree on this
+    /// profile; [`BenchProfile::golden_tag`] is embedded in the golden
+    /// file to catch accidental drift.
+    pub fn golden() -> BenchProfile {
+        BenchProfile { hw: xeon_gold_6326().scaled(512), data_div: 512, reps: 1 }
+    }
+
+    /// Identity string for [`BenchProfile::golden`], recorded in and
+    /// checked against the golden file.
+    pub fn golden_tag() -> &'static str {
+        "xeon_gold_6326/512 data_div=512 reps=1"
+    }
+
     /// Scale a paper size in megabytes to bytes under this profile.
     pub fn mb(&self, paper_mb: usize) -> usize {
         (paper_mb << 20) / self.data_div

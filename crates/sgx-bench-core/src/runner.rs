@@ -1,17 +1,41 @@
-//! Experiment registry and run-manifest model for the resilient
-//! `all_figures` harness.
+//! Experiment registry, work-stealing-lite scheduler and run-manifest
+//! model for the resilient `all_figures` harness.
 //!
-//! The harness binary owns process-level concerns (panic isolation via
-//! `catch_unwind`, wall-clock timing, exit codes); this module owns the
-//! deterministic parts: the ordered registry of every figure job, the
-//! `--only`/`--skip` selection logic, and the `manifest.json` data model —
-//! serialized through [`crate::json`] so equal run outcomes always produce
-//! byte-identical manifests.
+//! The harness binary owns process-level concerns (argument parsing,
+//! figure emission, exit codes); this module owns the deterministic
+//! parts: the ordered registry of every figure job, the `--only`/`--skip`
+//! selection logic, the parallel job scheduler ([`run_registry`]), and
+//! the `manifest.json` data model — serialized through [`crate::json`] so
+//! equal run outcomes always produce byte-identical manifests.
+//!
+//! ## Parallel determinism
+//!
+//! [`run_registry`] runs the selected jobs on `jobs` worker threads that
+//! pull indices from one shared atomic cursor (work-stealing-lite: no
+//! per-thread deques, just a strictly increasing claim counter). Each job
+//! builds its own [`sgx_sim::Machine`]s, whose cost model is a pure
+//! function of (profile, experiment) — no global mutable state — so
+//! *which* thread runs a job affects neither its figures nor its
+//! counters. Results are committed back in registry order, and the
+//! per-job counter totals are captured from the thread-local session
+//! accumulator (`sgx_sim::counters::session_take`), which works because
+//! one job runs wholly on one worker thread. The manifest's `seconds`
+//! field is the only legitimately nondeterministic output; determinism
+//! comparisons use [`Manifest::normalized`] which zeroes it.
+
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+// Wall-clock timing feeds the manifest's `seconds` diagnostics only,
+// never a simulated measurement; the alias keeps the nondeterministic
+// type visibly quarantined at this one import.
+// sgx-lint: allow(nondeterminism) harness-only wall-clock for manifest timings
+use std::time::Instant as WallClock;
 
 use crate::json::Value;
 use crate::profiles::BenchProfile;
 use crate::report::Figure;
 use crate::experiments as ex;
+use sgx_sim::Counters;
 
 /// One registered figure job: an id (usually the figure id; `fig04`
 /// produces two figures) and the experiment function behind it.
@@ -60,6 +84,169 @@ pub fn registry() -> Vec<FigureJob> {
         FigureJob { id: "ablation_radix_bits", run: |p| one(ex::ablation_radix_bits(p)) },
         FigureJob { id: "ext_aex_storm", run: |p| one(ex::ext_aex_storm(p)) },
     ]
+}
+
+/// Everything one finished job hands back to the harness: status and
+/// diagnostics for the manifest, the figures to emit (in emission
+/// order), and the job's counter totals for the aggregate table.
+#[derive(Debug)]
+pub struct JobOutcome {
+    /// Job id from the [`registry`].
+    pub id: String,
+    /// What happened.
+    pub status: JobStatus,
+    /// Wall-clock seconds the job took (0 for skipped jobs).
+    pub seconds: f64,
+    /// Panic message for failed jobs.
+    pub error: Option<String>,
+    /// Figures produced by the job (empty for failed/skipped jobs).
+    pub figures: Vec<Figure>,
+    /// Counter totals of every `Machine` the job created.
+    pub counters: Counters,
+}
+
+impl JobOutcome {
+    fn skipped(id: &str) -> JobOutcome {
+        JobOutcome {
+            id: id.to_string(),
+            status: JobStatus::Skipped,
+            seconds: 0.0,
+            error: None,
+            figures: Vec::new(),
+            counters: Counters::default(),
+        }
+    }
+}
+
+/// Scheduler configuration for [`run_registry`].
+#[derive(Debug, Clone, Default)]
+pub struct RunConfig {
+    /// Worker threads (clamped to at least 1). 1 = sequential on the
+    /// calling thread, exactly like the pre-parallel harness.
+    pub jobs: usize,
+    /// `--only`/`--skip` selection.
+    pub filter: JobFilter,
+    /// Deterministic failure hook: the job with this id panics before its
+    /// experiment runs (the CI negative test sets `ALL_FIGURES_FAIL`).
+    pub fail_injection: Option<String>,
+}
+
+/// Default worker count: one per available core.
+pub fn default_jobs() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+/// Run every selected registry job on `cfg.jobs` worker threads and
+/// return one [`JobOutcome`] per registered job, in registry order.
+///
+/// Jobs are claimed from a shared atomic cursor, so thread assignment is
+/// timing-dependent — but each job owns its own deterministic `Machine`s,
+/// so its figures and counters are identical whatever thread ran it (the
+/// equivalence suite proves this byte-for-byte). A panicking job is
+/// isolated with `catch_unwind` and recorded as [`JobStatus::Failed`].
+///
+/// The calling thread participates as a worker (and is the only worker
+/// for `jobs <= 1`); note this drains the caller's thread-local counter
+/// session (see `sgx_sim::counters::session_take`).
+pub fn run_registry(registry: &[FigureJob], profile: &BenchProfile, cfg: &RunConfig) -> Vec<JobOutcome> {
+    let selected: Vec<usize> =
+        (0..registry.len()).filter(|&i| cfg.filter.selects(registry[i].id)).collect();
+    let workers = cfg.jobs.max(1).min(selected.len().max(1));
+    let cursor = AtomicUsize::new(0);
+    let drain = || {
+        let mut mine: Vec<(usize, JobOutcome)> = Vec::new();
+        loop {
+            let k = cursor.fetch_add(1, Ordering::Relaxed);
+            let Some(&idx) = selected.get(k) else { break };
+            mine.push((idx, run_one(&registry[idx], profile, cfg)));
+        }
+        mine
+    };
+    let mut done: Vec<Option<JobOutcome>> = Vec::new();
+    done.resize_with(registry.len(), || None);
+    std::thread::scope(|s| {
+        let mut handles = Vec::new();
+        for _ in 1..workers {
+            // Generous stacks: experiments were sized for the main thread.
+            let spawned = std::thread::Builder::new()
+                .stack_size(16 << 20)
+                .spawn_scoped(s, || drain());
+            match spawned {
+                Ok(h) => handles.push(h),
+                // The calling thread still drains the whole queue below,
+                // so a failed spawn only costs parallelism.
+                Err(e) => eprintln!("warning: could not spawn harness worker: {e}"),
+            }
+        }
+        for (idx, outcome) in drain() {
+            done[idx] = Some(outcome);
+        }
+        for h in handles {
+            let part = h.join().unwrap_or_else(|p| panic::resume_unwind(p));
+            for (idx, outcome) in part {
+                done[idx] = Some(outcome);
+            }
+        }
+    });
+    registry
+        .iter()
+        .zip(done.iter_mut())
+        .map(|(job, slot)| slot.take().unwrap_or_else(|| JobOutcome::skipped(job.id)))
+        .collect()
+}
+
+/// Run one job on the current thread with panic isolation and per-job
+/// counter capture.
+fn run_one(job: &FigureJob, profile: &BenchProfile, cfg: &RunConfig) -> JobOutcome {
+    eprintln!("[{}] running...", job.id);
+    let started = WallClock::now();
+    // Reset the session accumulator so earlier machines dropped on this
+    // thread are not attributed to this job.
+    sgx_sim::counters::session_take();
+    let run = job.run;
+    let inject = cfg.fail_injection.as_deref() == Some(job.id);
+    let outcome = panic::catch_unwind(AssertUnwindSafe(|| {
+        if inject {
+            // sgx-lint: allow(panic-in-library) fault-injection hook, caught by this catch_unwind
+            panic!("injected failure via ALL_FIGURES_FAIL={}", job.id);
+        }
+        run(profile)
+    }));
+    // Machines are dropped during the job (or during unwind), so the
+    // session now holds exactly this job's totals.
+    let counters = sgx_sim::counters::session_take();
+    let seconds = started.elapsed().as_secs_f64();
+    match outcome {
+        Ok(figures) => {
+            eprintln!("[{}] ok ({seconds:.2}s)", job.id);
+            JobOutcome {
+                id: job.id.to_string(),
+                status: JobStatus::Ok,
+                seconds,
+                error: None,
+                figures,
+                counters,
+            }
+        }
+        Err(cause) => {
+            let message = if let Some(s) = cause.downcast_ref::<&str>() {
+                (*s).to_string()
+            } else if let Some(s) = cause.downcast_ref::<String>() {
+                s.clone()
+            } else {
+                "non-string panic payload".to_string()
+            };
+            eprintln!("[{}] FAILED ({seconds:.2}s): {message}", job.id);
+            JobOutcome {
+                id: job.id.to_string(),
+                status: JobStatus::Failed,
+                seconds,
+                error: Some(message),
+                figures: Vec::new(),
+                counters,
+            }
+        }
+    }
 }
 
 /// Outcome of one figure job in a harness run.
@@ -120,6 +307,35 @@ pub struct Manifest {
 }
 
 impl Manifest {
+    /// Build the manifest for a [`run_registry`] result (one entry per
+    /// registered job, in registry order).
+    pub fn from_outcomes(outcomes: &[JobOutcome]) -> Manifest {
+        Manifest {
+            entries: outcomes
+                .iter()
+                .map(|o| ManifestEntry {
+                    id: o.id.clone(),
+                    status: o.status,
+                    seconds: o.seconds,
+                    error: o.error.clone(),
+                    outputs: o.figures.iter().map(|f| f.id.clone()).collect(),
+                })
+                .collect(),
+        }
+    }
+
+    /// Copy with every `seconds` zeroed. Wall seconds legitimately vary
+    /// between runs (and across `--jobs` values); determinism byte-diffs
+    /// compare normalized manifests so timing noise cannot poison them,
+    /// while the written manifest still records the real timings.
+    pub fn normalized(&self) -> Manifest {
+        let mut m = self.clone();
+        for e in &mut m.entries {
+            e.seconds = 0.0;
+        }
+        m
+    }
+
     /// Number of entries with the given status.
     pub fn count(&self, status: JobStatus) -> usize {
         self.entries.iter().filter(|e| e.status == status).count()
@@ -249,6 +465,115 @@ impl JobFilter {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use sgx_sim::{Machine, Setting};
+
+    /// A cheap machine-touching job: charges work so the scheduler's
+    /// per-job counter capture has something real to capture.
+    fn probe_job(profile: &BenchProfile) -> Vec<Figure> {
+        let mut m = Machine::new(profile.hw.clone(), Setting::SgxDataInEnclave);
+        let ops = m.run(|c| {
+            c.compute(1000);
+            42.0
+        });
+        let mut f = Figure::new("probe", "scheduler probe", "x", "ops");
+        f.xs.push(format!("{ops}"));
+        f.notes.push(format!("wall={:.1}", m.wall_cycles()));
+        vec![f]
+    }
+
+    fn boom_job(_profile: &BenchProfile) -> Vec<Figure> {
+        panic!("synthetic failure for scheduler tests");
+    }
+
+    fn test_registry() -> Vec<FigureJob> {
+        vec![
+            FigureJob { id: "alpha", run: probe_job },
+            FigureJob { id: "boom", run: boom_job },
+            FigureJob { id: "omega", run: probe_job },
+        ]
+    }
+
+    fn outcome_fingerprint(outcomes: &[JobOutcome]) -> Vec<String> {
+        outcomes
+            .iter()
+            .map(|o| {
+                let figs: Vec<String> = o.figures.iter().map(|f| f.to_json()).collect();
+                format!("{}|{}|{}|{}", o.id, o.status.as_str(), figs.join(";"), o.counters.report())
+            })
+            .collect()
+    }
+
+    #[test]
+    fn scheduler_commits_in_registry_order_with_isolation() {
+        let reg = test_registry();
+        let cfg = RunConfig { jobs: 2, filter: JobFilter::default(), fail_injection: None };
+        let out = run_registry(&reg, &BenchProfile::tiny(), &cfg);
+        assert_eq!(out.len(), 3);
+        assert_eq!(out[0].id, "alpha");
+        assert_eq!(out[1].id, "boom");
+        assert_eq!(out[2].id, "omega");
+        assert_eq!(out[0].status, JobStatus::Ok);
+        assert_eq!(out[1].status, JobStatus::Failed);
+        assert!(out[1].error.as_deref().is_some_and(|e| e.contains("synthetic failure")));
+        assert_eq!(out[2].status, JobStatus::Ok);
+        // Per-job counters come from the job's own machines.
+        assert_eq!(out[0].counters.alu_ops, 1000);
+        assert_eq!(out[2].counters.alu_ops, 1000);
+    }
+
+    #[test]
+    fn scheduler_results_are_jobs_invariant() {
+        let reg = test_registry();
+        let profile = BenchProfile::tiny();
+        let runs: Vec<Vec<String>> = [1usize, 2, 8]
+            .iter()
+            .map(|&jobs| {
+                let cfg = RunConfig { jobs, filter: JobFilter::default(), fail_injection: None };
+                outcome_fingerprint(&run_registry(&reg, &profile, &cfg))
+            })
+            .collect();
+        assert_eq!(runs[0], runs[1], "--jobs 2 must reproduce sequential results");
+        assert_eq!(runs[0], runs[2], "--jobs 8 must reproduce sequential results");
+    }
+
+    #[test]
+    fn scheduler_honors_filter_and_fail_injection() {
+        let reg = test_registry();
+        let profile = BenchProfile::tiny();
+        let cfg = RunConfig {
+            jobs: 4,
+            filter: JobFilter { only: vec!["alpha".into(), "omega".into()], skip: vec![] },
+            fail_injection: Some("omega".into()),
+        };
+        let out = run_registry(&reg, &profile, &cfg);
+        assert_eq!(out[0].status, JobStatus::Ok);
+        assert_eq!(out[1].status, JobStatus::Skipped);
+        assert_eq!(out[1].seconds, 0.0);
+        assert_eq!(out[2].status, JobStatus::Failed);
+        assert!(out[2].error.as_deref().is_some_and(|e| e.contains("ALL_FIGURES_FAIL")));
+        let m = Manifest::from_outcomes(&out);
+        assert_eq!(m.count(JobStatus::Ok), 1);
+        assert_eq!(m.count(JobStatus::Skipped), 1);
+        assert_eq!(m.failed_ids(), vec!["omega".to_string()]);
+    }
+
+    #[test]
+    fn normalized_manifests_are_timing_invariant() {
+        let mk = |secs: f64| Manifest {
+            entries: vec![ManifestEntry {
+                id: "fig01".into(),
+                status: JobStatus::Ok,
+                seconds: secs,
+                error: None,
+                outputs: vec!["fig01".into()],
+            }],
+        };
+        let a = mk(1.25);
+        let b = mk(9.75);
+        assert_ne!(a.to_json(), b.to_json(), "raw manifests must record real seconds");
+        assert_eq!(a.normalized().to_json(), b.normalized().to_json());
+        assert!(a.normalized().to_json().contains("\"seconds\": 0.0"));
+    }
 
     #[test]
     fn registry_ids_are_unique_and_complete() {

@@ -1,0 +1,25 @@
+//! Negative: `charge` bumps cycles but never calls `fault_tick` directly —
+//! it reaches the tick transitively through `commit`. The set-based rule
+//! follows the call chain, so this layered charge path is fully covered.
+
+// sgx-lint: fault-tick-module
+
+pub struct Layer {
+    cycles: f64,
+    pending: u64,
+}
+
+impl Layer {
+    fn fault_tick(&mut self) {
+        self.pending = 0;
+    }
+
+    fn commit(&mut self) {
+        self.fault_tick();
+    }
+
+    pub fn charge(&mut self, n: f64) {
+        self.cycles += n;
+        self.commit();
+    }
+}

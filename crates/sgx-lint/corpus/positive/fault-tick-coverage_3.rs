@@ -1,0 +1,17 @@
+//! Positive: the pragma opts this layer into the fault-tick module set,
+//! but nothing in the set defines `fault_tick` — every charge path here
+//! is invisible to the fault engine and must be flagged.
+
+// sgx-lint: fault-tick-module
+
+pub struct Numa {
+    cycles: f64,
+    upi_bytes: f64,
+}
+
+impl Numa {
+    pub fn remote_line(&mut self, bytes: f64) {
+        self.upi_bytes += bytes;
+        self.cycles += bytes * 0.21;
+    }
+}

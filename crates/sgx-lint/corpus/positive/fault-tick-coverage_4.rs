@@ -1,0 +1,34 @@
+//! Positive: a pragma'd set member defines `fault_tick`, and `commit`
+//! reaches it through `relay` — but `drift` charges through a helper
+//! chain that never arrives at the tick, so it still leaks.
+
+// sgx-lint: fault-tick-module
+
+pub struct Layer {
+    cycles: f64,
+    pending: u64,
+}
+
+impl Layer {
+    fn fault_tick(&mut self) {
+        self.pending = 0;
+    }
+
+    fn relay(&mut self) {
+        self.fault_tick();
+    }
+
+    pub fn commit(&mut self, n: f64) {
+        self.cycles += n;
+        self.relay();
+    }
+
+    fn log_only(&self) -> u64 {
+        self.pending
+    }
+
+    pub fn drift(&mut self, n: f64) {
+        self.cycles += n;
+        self.log_only();
+    }
+}

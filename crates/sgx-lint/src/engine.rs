@@ -68,6 +68,9 @@ pub(crate) struct Markers {
     /// File carries the `calibration-file` pragma (opts into the
     /// calibration-provenance rule).
     pub calibration_file: bool,
+    /// File carries the `fault-tick-module` pragma (joins the
+    /// fault-tick-coverage module set even without defining `fault_tick`).
+    pub fault_tick_module: bool,
 }
 
 /// Parse `sgx-lint:` markers out of the comments; malformed markers become
@@ -97,8 +100,14 @@ pub(crate) fn parse_markers(
             markers.calibration_file = true;
             continue;
         }
+        // File pragma: opts the file into the fault-tick-coverage module
+        // set (cycle-charging layers of a split-up machine).
+        if rest == "fault-tick-module" || rest.starts_with("fault-tick-module ") {
+            markers.fault_tick_module = true;
+            continue;
+        }
         let Some(args) = rest.strip_prefix("allow(") else {
-            bad("marker must be `sgx-lint: allow(<rule>) <reason>` or `sgx-lint: calibration-file`", findings);
+            bad("marker must be `sgx-lint: allow(<rule>) <reason>`, `sgx-lint: calibration-file` or `sgx-lint: fault-tick-module`", findings);
             continue;
         };
         let Some(close) = args.find(')') else {

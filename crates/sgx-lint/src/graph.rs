@@ -35,6 +35,9 @@ pub struct FileCtx {
     /// True when the file carries the `// sgx-lint: calibration-file`
     /// pragma (opts into the calibration-provenance rule).
     pub calibration: bool,
+    /// True when the file carries the `// sgx-lint: fault-tick-module`
+    /// pragma (joins the fault-tick-coverage module set).
+    pub fault_tick_module: bool,
 }
 
 /// The whole scanned set.
@@ -81,6 +84,7 @@ impl Workspace {
                 items,
                 allows: markers.allows,
                 calibration: markers.calibration_file,
+                fault_tick_module: markers.fault_tick_module,
             });
         }
         let mut fns: BTreeMap<String, Vec<(usize, usize)>> = BTreeMap::new();

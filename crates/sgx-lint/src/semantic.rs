@@ -11,9 +11,11 @@
 //!   (written somewhere in non-test code) and attributed (read outside the
 //!   crate that defines it)? A counter failing either half silently skews
 //!   the enclave-vs-native ratios every figure is built on.
-//! * **fault-tick-coverage** — does every function in the
-//!   `fault_tick`-defining file that charges cycles also reach
-//!   `fault_tick`, so the fault engine observes every charge path?
+//! * **fault-tick-coverage** — does every cycle-charging function in the
+//!   fault-tick *module set* (files defining `fn fault_tick` plus files
+//!   opting in via `// sgx-lint: fault-tick-module`) reach `fault_tick`,
+//!   directly or through in-set call chains, so the fault engine observes
+//!   every charge path across the layered pipeline?
 //! * **calibration-provenance** — in files carrying the
 //!   `// sgx-lint: calibration-file` pragma, does every numeric constant
 //!   line carry a `paper: §x.y` / `uarch: <source>` provenance comment?
@@ -344,19 +346,89 @@ fn counter_conservation(ws: &Workspace, out: &mut Vec<(usize, Finding)>) {
 
 // ------------------------------------------------------ fault coverage --
 
-/// Rule: fault-tick-coverage. In the file defining `fn fault_tick`, every
-/// function that charges cycles (`cycles += …`) must itself call
-/// `fault_tick`, except `fault_tick` and its transitive callees (the fault
-/// engine's own charge paths must not recurse into the tick).
+/// Rule: fault-tick-coverage, over a configurable *module set*: every
+/// non-test file that defines `fn fault_tick` plus every file carrying
+/// the `// sgx-lint: fault-tick-module` pragma (the layers of the split
+/// machine pipeline opt in this way). Within the set, every function that
+/// charges cycles (`cycles += …`) must reach `fault_tick` — directly or
+/// transitively through calls resolved inside the set — except
+/// `fault_tick` itself and its transitive callees (the fault engine's own
+/// charge paths must not recurse into the tick). A pragma'd file from
+/// which `fault_tick` is unreachable (e.g. no set file defines it at all)
+/// flags every charge path: a charging layer the fault engine never sees
+/// is exactly the bug this rule exists for.
 fn fault_tick_coverage(ws: &Workspace, out: &mut Vec<(usize, Finding)>) {
-    for (fi, f) in ws.files.iter().enumerate() {
-        if f.class == FileClass::Test || !f.items.fns.iter().any(|i| i.name == "fault_tick") {
-            continue;
+    let set: Vec<usize> = ws
+        .files
+        .iter()
+        .enumerate()
+        .filter(|(_, f)| {
+            f.class != FileClass::Test
+                && (f.fault_tick_module || f.items.fns.iter().any(|i| i.name == "fault_tick"))
+        })
+        .map(|(fi, _)| fi)
+        .collect();
+    if set.is_empty() {
+        return;
+    }
+    // Function names defined anywhere in the set (call edges are resolved
+    // by name, the workspace-wide policy — see `crate::graph`).
+    let defined: BTreeSet<&str> = set
+        .iter()
+        .flat_map(|&fi| ws.files[fi].items.fns.iter().map(|i| i.name.as_str()))
+        .collect();
+    // Downward closure: `fault_tick` and everything it transitively calls
+    // within the set.
+    let mut exempt: BTreeSet<String> = BTreeSet::new();
+    exempt.insert("fault_tick".to_string());
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for &fi in &set {
+            for item in &ws.files[fi].items.fns {
+                if !exempt.contains(&item.name) {
+                    continue;
+                }
+                for call in &item.calls {
+                    if defined.contains(call.callee.as_str()) && !exempt.contains(&call.callee) {
+                        exempt.insert(call.callee.clone());
+                        changed = true;
+                    }
+                }
+            }
         }
-        let exempt = ws.within_file_closure(fi, "fault_tick");
+    }
+    // Upward closure: names that reach `fault_tick` through unmasked
+    // in-set call chains. Empty when no set file defines it.
+    let mut reaches: BTreeSet<String> = BTreeSet::new();
+    if set.iter().any(|&fi| ws.files[fi].items.fns.iter().any(|i| i.name == "fault_tick")) {
+        reaches.insert("fault_tick".to_string());
+        changed = true;
+        while changed {
+            changed = false;
+            for &fi in &set {
+                let f = &ws.files[fi];
+                for item in &f.items.fns {
+                    if reaches.contains(&item.name) {
+                        continue;
+                    }
+                    let hits = item.calls.iter().any(|c| {
+                        reaches.contains(&c.callee)
+                            && !f.mask.get(c.tok).copied().unwrap_or(false)
+                    });
+                    if hits {
+                        reaches.insert(item.name.clone());
+                        changed = true;
+                    }
+                }
+            }
+        }
+    }
+    for &fi in &set {
+        let f = &ws.files[fi];
         let toks = &f.lexed.tokens;
         for item in &f.items.fns {
-            if exempt.contains(&item.name) {
+            if exempt.contains(&item.name) || reaches.contains(&item.name) {
                 continue;
             }
             // First unmasked charge site in the body.
@@ -369,23 +441,18 @@ fn fault_tick_coverage(ws: &Workspace, out: &mut Vec<(usize, Finding)>) {
                 .then(|| toks[i].line)
             });
             let Some(line) = charge_line else { continue };
-            let ticks = item.calls.iter().any(|c| {
-                c.callee == "fault_tick" && !f.mask.get(c.tok).copied().unwrap_or(false)
-            });
-            if !ticks {
-                out.push((
-                    fi,
-                    finding(
-                        &f.label,
-                        line,
-                        "fault-tick-coverage",
-                        format!(
-                            "`{}` charges cycles but never reaches `fault_tick` — injected faults skip this charge path, so fault experiments under-count it",
-                            item.name
-                        ),
+            out.push((
+                fi,
+                finding(
+                    &f.label,
+                    line,
+                    "fault-tick-coverage",
+                    format!(
+                        "`{}` charges cycles but never reaches `fault_tick` through the fault-tick module set — injected faults skip this charge path, so fault experiments under-count it",
+                        item.name
                     ),
-                ));
-            }
+                ),
+            ));
         }
     }
 }
@@ -567,6 +634,42 @@ mod tests {
         let found = run(&w);
         assert_eq!(rules(&found), ["fault-tick-coverage"]);
         assert!(found[0].1.message.contains("`leaky`"));
+    }
+
+    #[test]
+    fn fault_tick_coverage_spans_the_module_set() {
+        // `commit` lives in a pragma'd layer file and reaches `fault_tick`
+        // (defined in a sibling set file) transitively through `relay` —
+        // silent. `stray` in the same layer charges without reaching — flagged.
+        let w = ws(&[
+            (
+                "crates/sgx-sim/src/machine/core.rs",
+                FileClass::Lib,
+                "// sgx-lint: fault-tick-module\nimpl M {\nfn commit(&mut self) { self.cycles += 1.0; self.relay(); }\nfn relay(&mut self) { self.fault_tick(); }\nfn stray(&mut self) { self.cycles += 2.0; }\n}",
+            ),
+            (
+                "crates/sgx-sim/src/machine/transitions.rs",
+                FileClass::Lib,
+                "// sgx-lint: fault-tick-module\nimpl M {\nfn fault_tick(&mut self) { self.slow(); }\nfn slow(&mut self) { self.cycles += 1.0; }\n}",
+            ),
+        ]);
+        let found = run(&w);
+        assert_eq!(rules(&found), ["fault-tick-coverage"], "{found:?}");
+        assert!(found[0].1.message.contains("`stray`"));
+    }
+
+    #[test]
+    fn fault_tick_coverage_pragma_without_tick_flags_all_charges() {
+        // A layer opts in but no set file defines `fault_tick` at all:
+        // every charge path is invisible to the fault engine — flag it.
+        let w = ws(&[(
+            "crates/sgx-sim/src/machine/numa.rs",
+            FileClass::Lib,
+            "// sgx-lint: fault-tick-module\nimpl M {\nfn upi(&mut self) { self.cycles += 9.0; }\n}",
+        )]);
+        let found = run(&w);
+        assert_eq!(rules(&found), ["fault-tick-coverage"], "{found:?}");
+        assert!(found[0].1.message.contains("`upi`"));
     }
 
     #[test]

@@ -1,5 +1,32 @@
 //! Performance counters collected by the simulator.
+//!
+//! Besides the per-[`crate::Machine`] totals, this module keeps a
+//! *session accumulator*: a thread-local [`Counters`] that absorbs the
+//! totals of every `Machine` dropped on that thread. The parallel figure
+//! harness runs each job wholly on one worker thread, so
+//! [`session_take`] around a job yields that job's counter totals without
+//! threading a collector through the 25 experiment signatures; summing
+//! the per-job results with [`Counters::merge`] reproduces the whole-run
+//! totals exactly (u64 addition is associative and commutative).
 
+use std::cell::RefCell;
+
+thread_local! {
+    /// Per-thread session accumulator fed by `Machine::drop`.
+    static SESSION: RefCell<Counters> = RefCell::new(Counters::default());
+}
+
+/// Fold `c` into the current thread's session accumulator. Called by
+/// `Machine::drop`; also usable directly for counters captured before a
+/// machine is dropped.
+pub fn session_absorb(c: &Counters) {
+    SESSION.with(|s| s.borrow_mut().merge(c));
+}
+
+/// Take (and reset) the current thread's session accumulator.
+pub fn session_take() -> Counters {
+    SESSION.with(|s| std::mem::take(&mut *s.borrow_mut()))
+}
 
 /// Event totals across the whole machine, analogous to the hardware PMU and
 /// sgx-perf counters the paper relies on. Tests and benches use these to
@@ -53,6 +80,36 @@ pub struct Counters {
 }
 
 impl Counters {
+    /// Field-wise sum: add every counter of `other` into `self`.
+    ///
+    /// Conservation contract (tested in `tests/integration_counters.rs`
+    /// and `tests/integration_equivalence.rs`): merging the per-job
+    /// counters of a partitioned run equals the counters of the whole
+    /// run, whatever the partition.
+    pub fn merge(&mut self, other: &Counters) {
+        self.loads += other.loads;
+        self.stores += other.stores;
+        self.l1_hits += other.l1_hits;
+        self.l2_hits += other.l2_hits;
+        self.l3_hits += other.l3_hits;
+        self.dram_fills += other.dram_fills;
+        self.prefetched_fills += other.prefetched_fills;
+        self.epc_fills += other.epc_fills;
+        self.remote_fills += other.remote_fills;
+        self.writebacks += other.writebacks;
+        self.stream_lines += other.stream_lines;
+        self.transitions += other.transitions;
+        self.futex_waits += other.futex_waits;
+        self.edmm_pages += other.edmm_pages;
+        self.epc_page_faults += other.epc_page_faults;
+        self.enclave_groups += other.enclave_groups;
+        self.tlb_misses += other.tlb_misses;
+        self.alu_ops += other.alu_ops;
+        self.vec_ops += other.vec_ops;
+        self.aex_events += other.aex_events;
+        self.ocall_retries += other.ocall_retries;
+    }
+
     /// Total charged memory accesses.
     pub fn accesses(&self) -> u64 {
         self.loads + self.stores
@@ -121,6 +178,56 @@ mod tests {
         assert!(r.contains("loads"));
         assert!(r.contains("EPC (MEE)"));
         assert!(!r.contains("transitions"));
+    }
+
+    #[test]
+    fn merge_covers_every_field() {
+        // Distinct primes per field; merging into a default must reproduce
+        // the original exactly (Debug covers all fields, so a counter
+        // added later but missed in `merge` fails this test).
+        let src = Counters {
+            loads: 2,
+            stores: 3,
+            l1_hits: 5,
+            l2_hits: 7,
+            l3_hits: 11,
+            dram_fills: 13,
+            prefetched_fills: 17,
+            epc_fills: 19,
+            remote_fills: 23,
+            writebacks: 29,
+            stream_lines: 31,
+            transitions: 37,
+            futex_waits: 41,
+            edmm_pages: 43,
+            epc_page_faults: 47,
+            enclave_groups: 53,
+            tlb_misses: 59,
+            alu_ops: 61,
+            vec_ops: 67,
+            aex_events: 71,
+            ocall_retries: 73,
+        };
+        let mut dst = Counters::default();
+        dst.merge(&src);
+        assert_eq!(format!("{dst:?}"), format!("{src:?}"));
+        dst.merge(&src);
+        assert_eq!(dst.loads, 4);
+        assert_eq!(dst.ocall_retries, 146);
+    }
+
+    #[test]
+    fn session_accumulator_takes_and_resets() {
+        // Drain whatever earlier tests on this thread left behind.
+        let _ = session_take();
+        session_absorb(&Counters { loads: 10, ..Default::default() });
+        session_absorb(&Counters { loads: 5, vec_ops: 2, ..Default::default() });
+        let got = session_take();
+        assert_eq!(got.loads, 15);
+        assert_eq!(got.vec_ops, 2);
+        let empty = session_take();
+        assert_eq!(empty.loads, 0);
+        assert_eq!(empty.vec_ops, 0);
     }
 
     #[test]

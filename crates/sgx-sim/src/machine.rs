@@ -10,6 +10,33 @@
 //! additionally bounded from below by the DRAM- and UPI-bandwidth caps
 //! (shared-resource regulation).
 //!
+//! # Layered pipeline
+//!
+//! The model is split into layers, one module per hardware concern; this
+//! file holds the shared state (`Machine`, `Core`, calibrated constants)
+//! and each layer contributes `impl` blocks:
+//!
+//! * [`core`](self) — pipeline aggregation (ILP/MLP pooling, issue groups,
+//!   dependency chains), branch and compute charges, phase orchestration
+//!   and the per-core busy clocks. Owns the [`core::Charge`] choke point:
+//!   every layer commits cycles through `Core::commit`, which is the only
+//!   place (besides the fault engine's own exempt path) that advances the
+//!   busy clock and ticks the fault engine.
+//! * `access` — the load/store/stream entry points: random-pattern
+//!   accesses, non-temporal stores, stream touches, and the charged
+//!   `SimVec`/`StreamReader`/`StreamWriter` APIs.
+//! * `hierarchy` — the L1/L2/L3 walk, TLB, installs/spills/write-backs,
+//!   and the DRAM bandwidth cap.
+//! * `epc` — the enclave memory boundary: EPC allocation limits, EDMM
+//!   commits, SGXv1 paging, and MEE bus inflation.
+//! * `numa` — UPI interconnect accounting and its bandwidth cap.
+//! * `transitions` — ECALL/OCALL round trips, enclave boundary
+//!   crossings, and AEX delivery (the fault tick itself).
+//!
+//! Layer files carry the `sgx-lint: fault-tick-module` pragma, so the
+//! workspace lint proves every cycle-charging function in the set reaches
+//! `fault_tick` — directly or through `commit`.
+//!
 //! # Cost model summary (anchored to the paper)
 //!
 //! * Cache hit: level latency, overlapped by the out-of-order engine
@@ -26,14 +53,22 @@
 //!   patterns automatically, and the explicit `read_stream`/`StreamWriter`
 //!   APIs model scan-style code.
 
-use crate::cache::{line_of, Cache, Evicted, StreamDetector};
-use crate::config::{HwConfig, SgxGeneration, CACHE_LINE, PAGE_SIZE};
+use crate::cache::{Cache, StreamDetector};
+use crate::config::HwConfig;
 use crate::counters::Counters;
-use crate::faults::{ocall_cost, FaultEngine, FaultEvent, FaultProfile};
-use crate::mem::{ExecMode, Region, RegionAlloc, Setting, SimVec};
+use crate::faults::FaultEngine;
+use crate::mem::{ExecMode, RegionAlloc, Setting};
 use crate::paging::Pager;
-use crate::sync::QueueModel;
 use std::collections::BTreeSet;
+
+mod access;
+mod core;
+mod epc;
+mod hierarchy;
+mod numa;
+mod transitions;
+
+pub use self::access::{StreamReader, StreamWriter};
 
 /// Per-line transfer cost when the line is found in a given cache level
 /// during streaming (bytes-per-cycle limits of the level).
@@ -69,14 +104,6 @@ pub enum AccessKind {
     Store,
     /// Read-modify-write of one location (load + dependent store).
     Rmw,
-}
-
-/// Cache level an access hit in (DRAM fills return early).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum HitLevel {
-    L1,
-    L2,
-    L3,
 }
 
 /// Resolved cost of one access before pipeline aggregation.
@@ -144,341 +171,6 @@ pub struct Machine {
     core_clock: Vec<f64>,
 }
 
-impl Machine {
-    /// Build a machine for one of the paper's three settings.
-    pub fn new(cfg: HwConfig, setting: Setting) -> Machine {
-        let n_regions = cfg.sockets * 2;
-        let cores = (0..cfg.total_cores())
-            .map(|_| CoreHw {
-                l1: Cache::new(&cfg.l1d),
-                l2: Cache::new(&cfg.l2),
-                streams: StreamDetector::new(),
-                tlb: vec![u64::MAX; cfg.mem.tlb_entries.max(1)],
-            })
-            .collect();
-        let l3 = (0..cfg.sockets).map(|_| Cache::new(&cfg.l3)).collect();
-        let pager = (cfg.generation == SgxGeneration::V1 && setting.mode() == ExecMode::Enclave)
-            .then(|| Pager::new(&cfg.paging));
-        Machine {
-            mode: setting.mode(),
-            setting,
-            allocs: vec![RegionAlloc::default(); n_regions],
-            cores,
-            l3,
-            counters: Counters::default(),
-            wall: 0.0,
-            sealed: false,
-            seal_watermark: vec![0; n_regions],
-            committed_pages: BTreeSet::new(),
-            pager,
-            faults: None,
-            core_clock: vec![0.0; cfg.total_cores()],
-            cfg,
-        }
-    }
-
-    /// Install a deterministic fault-injection profile (AEX storms, EPC
-    /// pressure, transient OCALL failures — see [`crate::faults`]). The
-    /// resulting fault schedule is a pure function of the profile and its
-    /// seed: replaying the same workload reproduces the identical trace,
-    /// counters, and wall time.
-    pub fn install_faults(&mut self, profile: FaultProfile) {
-        self.faults = Some(FaultEngine::new(profile, self.cfg.total_cores()));
-    }
-
-    /// Events the fault engine has applied so far, in application order
-    /// (empty without [`Machine::install_faults`]).
-    pub fn fault_trace(&self) -> &[FaultEvent] {
-        self.faults.as_ref().map_or(&[], |engine| engine.trace())
-    }
-
-    /// Perform one OCALL round trip on the wall clock: the exit/re-entry
-    /// pair, plus deterministic transient-failure retries with bounded
-    /// exponential backoff (in simulated cycles) when an OCALL fault
-    /// profile is installed. Returns the number of retries, also summed
-    /// into `Counters::ocall_retries`. Native mode is a plain host call:
-    /// free and infallible here.
-    pub fn ocall(&mut self) -> u32 {
-        if self.mode != ExecMode::Enclave {
-            return 0;
-        }
-        let retries = match &mut self.faults {
-            Some(engine) => engine.plan_ocall(self.wall),
-            None => 0,
-        };
-        let backoff = self
-            .faults
-            .as_ref()
-            .and_then(|engine| engine.profile().ocall)
-            .map_or(0.0, |o| o.backoff_cycles);
-        self.wall += ocall_cost(retries, self.cfg.transitions.transition_cycles, backoff);
-        self.counters.transitions += 2 * (1 + retries as u64);
-        self.counters.ocall_retries += retries as u64;
-        retries
-    }
-
-    /// The hardware configuration.
-    pub fn cfg(&self) -> &HwConfig {
-        &self.cfg
-    }
-
-    /// The benchmark setting this machine models.
-    pub fn setting(&self) -> Setting {
-        self.setting
-    }
-
-    /// Execution mode (derived from the setting).
-    pub fn mode(&self) -> ExecMode {
-        self.mode
-    }
-
-    /// Accumulated wall-clock cycles over all phases so far.
-    pub fn wall_cycles(&self) -> f64 {
-        self.wall
-    }
-
-    /// Wall time in seconds at the configured clock frequency.
-    pub fn wall_secs(&self) -> f64 {
-        self.cfg.cycles_to_secs(self.wall)
-    }
-
-    /// Reset the wall clock (e.g. after untimed setup).
-    pub fn reset_wall(&mut self) {
-        self.wall = 0.0;
-    }
-
-    /// Event counters.
-    pub fn counters(&self) -> &Counters {
-        &self.counters
-    }
-
-    /// Allocate a vector in the setting's default data region on `node` 0.
-    pub fn alloc<T: Copy + Default>(&mut self, len: usize) -> SimVec<T> {
-        self.alloc_on(len, self.setting.data_region(0))
-    }
-
-    /// Allocate a vector in the setting's default data region on a given
-    /// NUMA node.
-    pub fn alloc_on_node<T: Copy + Default>(&mut self, len: usize, node: u8) -> SimVec<T> {
-        self.alloc_on(len, self.setting.data_region(node))
-    }
-
-    /// Allocate a vector in an explicit region. Panics when an EPC region
-    /// would exceed the configured per-socket EPC capacity — real enclaves
-    /// fail to grow at exactly this point (use [`Machine::try_alloc_on`]
-    /// to handle it).
-    pub fn alloc_on<T: Copy + Default>(&mut self, len: usize, region: Region) -> SimVec<T> {
-        self.try_alloc_on(len, region).unwrap_or_else(|| {
-            // sgx-lint: allow(panic-in-library) documented API contract: alloc_on panics on EPC exhaustion, try_alloc_on is the fallible twin
-            panic!(
-                "EPC capacity exceeded on node {} ({} bytes per socket)",
-                region.node(),
-                self.cfg.epc_per_socket
-            )
-        })
-    }
-
-    /// Fallible allocation: returns `None` when an EPC region would exceed
-    /// the per-socket EPC capacity (Table 1: 64 GB/socket).
-    pub fn try_alloc_on<T: Copy + Default>(
-        &mut self,
-        len: usize,
-        region: Region,
-    ) -> Option<SimVec<T>> {
-        let bytes = (len * SimVec::<T>::elem_size()) as u64;
-        if region.is_epc() {
-            let used = self.allocs[region.index()].used;
-            if used + bytes > self.cfg.epc_per_socket as u64 {
-                return None;
-            }
-        }
-        let off = self.allocs[region.index()].alloc(bytes);
-        Some(SimVec::new(len, region.base() + off, region))
-    }
-
-    /// Bytes allocated so far in a region.
-    pub fn region_used(&self, region: Region) -> u64 {
-        self.allocs[region.index()].used
-    }
-
-    /// Freeze the enclave's statically committed size: EPC memory allocated
-    /// *after* this call is committed on first charged touch via EDMM,
-    /// paying `EdmmConfig::page_add_cycles` per page (§4.4, Fig 11).
-    pub fn seal_enclave(&mut self) {
-        self.sealed = true;
-        for (i, a) in self.allocs.iter().enumerate() {
-            self.seal_watermark[i] = a.used;
-        }
-    }
-
-    /// Drop all cache contents (between experiment repetitions).
-    pub fn flush_caches(&mut self) {
-        for c in &mut self.cores {
-            c.l1.flush();
-            c.l2.flush();
-            c.streams.reset();
-            c.tlb.fill(u64::MAX);
-        }
-        for l3 in &mut self.l3 {
-            l3.flush();
-        }
-    }
-
-    /// Charge an enclave entry/exit pair to the wall clock (no-op in native
-    /// mode), e.g. the ECALL that launches a query.
-    pub fn ecall(&mut self) {
-        if self.mode == ExecMode::Enclave {
-            self.wall += 2.0 * self.cfg.transitions.transition_cycles;
-            self.counters.transitions += 2;
-        }
-    }
-
-    /// Run single-threaded code on core 0, advancing the wall clock.
-    pub fn run<R>(&mut self, f: impl FnOnce(&mut Core) -> R) -> R {
-        self.run_on(0, f)
-    }
-
-    /// Run single-threaded code on a specific core.
-    pub fn run_on<R>(&mut self, core_id: usize, f: impl FnOnce(&mut Core) -> R) -> R {
-        let mut f = Some(f);
-        let mut out = None;
-        self.parallel(&[core_id], |core| {
-            // sgx-lint: allow(panic-in-library) FnOnce-through-Option shim; parallel() calls each worker exactly once
-            let f = f.take().expect("single-core phase runs the closure once");
-            out = Some(f(core));
-        });
-        // sgx-lint: allow(panic-in-library) same invariant: the one-element core list ran exactly once
-        out.expect("single-core closure always runs")
-    }
-
-    /// Execute one parallel phase on the given hardware cores. The closure
-    /// is invoked once per worker (sequentially, in core order); wall time
-    /// advances by the regulated phase duration.
-    pub fn parallel(&mut self, cores: &[usize], mut f: impl FnMut(&mut Core)) -> PhaseStats {
-        assert!(!cores.is_empty(), "a phase needs at least one core");
-        let sockets = self.cfg.sockets;
-        let mut core_cycles = Vec::with_capacity(cores.len());
-        let mut dram_bytes = vec![0.0; sockets];
-        let mut upi_bytes = 0.0;
-        let mut faults = 0u64;
-        let mut edmm_pages = 0u64;
-        for (w, &id) in cores.iter().enumerate() {
-            assert!(id < self.cfg.total_cores(), "core id {id} out of range");
-            let mut core = Core::new(self, id);
-            core.windex = w;
-            f(&mut core);
-            core_cycles.push(core.cycles);
-            for s in 0..sockets {
-                dram_bytes[s] += core.dram_bytes[s];
-            }
-            upi_bytes += core.upi_bytes;
-            faults += core.faults;
-            let busy = core.cycles;
-            edmm_pages += core.edmm_pages;
-            self.core_clock[id] += busy;
-        }
-        self.finish_phase(core_cycles, dram_bytes, upi_bytes, faults, edmm_pages)
-    }
-
-    /// Execute a task-queue-driven phase: workers repeatedly pop tasks from
-    /// `queue` (whose cost model serializes contended critical sections)
-    /// and process them. Workers are interleaved by their local clocks, so
-    /// queue contention plays out realistically (§4.4, Fig 10).
-    pub fn parallel_tasks(
-        &mut self,
-        cores: &[usize],
-        queue: &mut dyn QueueModel,
-        n_tasks: usize,
-        mut f: impl FnMut(&mut Core, usize),
-    ) -> PhaseStats {
-        assert!(!cores.is_empty(), "a phase needs at least one core");
-        queue.reset(n_tasks);
-        let sockets = self.cfg.sockets;
-        let mut clocks = vec![0.0f64; cores.len()];
-        let mut live = vec![true; cores.len()];
-        let mut dram_bytes = vec![0.0; sockets];
-        let mut upi_bytes = 0.0;
-        let mut faults = 0u64;
-        let mut edmm_pages = 0u64;
-        let cfg = self.cfg.clone();
-        loop {
-            let Some(w) = (0..cores.len())
-                .filter(|&w| live[w])
-                .min_by(|&a, &b| clocks[a].total_cmp(&clocks[b]))
-            else {
-                break;
-            };
-            let mode = self.mode;
-            let (t, task) = queue.dequeue(clocks[w], mode, &cfg, &mut self.counters);
-            clocks[w] = t;
-            match task {
-                None => live[w] = false,
-                Some(task) => {
-                    let mut core = Core::new(self, cores[w]);
-                    core.windex = w;
-                    f(&mut core, task);
-                    clocks[w] += core.cycles;
-                    for s in 0..sockets {
-                        dram_bytes[s] += core.dram_bytes[s];
-                    }
-                    upi_bytes += core.upi_bytes;
-                    faults += core.faults;
-                    let busy = core.cycles;
-                    edmm_pages += core.edmm_pages;
-                    self.core_clock[cores[w]] += busy;
-                }
-            }
-        }
-        self.finish_phase(clocks, dram_bytes, upi_bytes, faults, edmm_pages)
-    }
-
-    fn finish_phase(
-        &mut self,
-        core_cycles: Vec<f64>,
-        dram_bytes: Vec<f64>,
-        upi_bytes: f64,
-        faults: u64,
-        edmm_pages: u64,
-    ) -> PhaseStats {
-        let busiest = core_cycles.iter().cloned().fold(0.0, f64::max);
-        let mut bound = busiest;
-        let mut bandwidth_bound = false;
-        for &bytes in &dram_bytes {
-            let cap = bytes * self.cfg.mem.socket_bw_cycles_per_byte;
-            if cap > bound {
-                bound = cap;
-                bandwidth_bound = true;
-            }
-        }
-        let upi_cap = upi_bytes * self.cfg.upi.upi_bw_cycles_per_byte;
-        if upi_cap > bound {
-            bound = upi_cap;
-            bandwidth_bound = true;
-        }
-        // SGXv1 EPC paging is globally serialized (the kernel driver's
-        // EWB/ELDU path holds a global lock), so concurrent workers cannot
-        // overlap their faults: the phase can never finish faster than the
-        // serial fault train.
-        let fault_cap = faults as f64 * self.cfg.paging.fault_cycles;
-        if fault_cap > bound {
-            bound = fault_cap;
-            bandwidth_bound = true;
-        }
-        // EDMM page adds serialize the same way: EAUG/EACCEPT go through
-        // the driver's global EPC page-management lock, so concurrent
-        // workers cannot overlap their enclave growth (this is what makes
-        // Fig 11's dynamically grown enclave reach only ~4.5 % of the
-        // statically sized one even with 16 threads).
-        let edmm_cap = edmm_pages as f64 * self.cfg.edmm.page_add_cycles;
-        if edmm_cap > bound {
-            bound = edmm_cap;
-            bandwidth_bound = true;
-        }
-        self.wall += bound;
-        PhaseStats { wall_cycles: bound, core_cycles, bandwidth_bound }
-    }
-}
-
 /// Handle through which operator code charges work while running on one
 /// simulated core. Obtained from [`Machine::run`] / [`Machine::parallel`].
 pub struct Core<'m> {
@@ -501,1298 +193,5 @@ pub struct Core<'m> {
     last_rand_addr: u64,
 }
 
-impl<'m> Core<'m> {
-    fn new(m: &'m mut Machine, id: usize) -> Core<'m> {
-        let socket = m.cfg.socket_of_core(id);
-        let sockets = m.cfg.sockets;
-        Core {
-            m,
-            id,
-            socket,
-            cycles: 0.0,
-            dram_bytes: vec![0.0; sockets],
-            upi_bytes: 0.0,
-            group: None,
-            dependent_depth: 0,
-            windex: 0,
-            faults: 0,
-            edmm_pages: 0,
-            last_rand_addr: CTX_POISON,
-        }
-    }
-
-    /// Hardware core id this worker is pinned to.
-    pub fn id(&self) -> usize {
-        self.id
-    }
-
-    /// Index of this worker within the phase's core list (0-based), for
-    /// indexing per-worker scratch structures.
-    pub fn worker(&self) -> usize {
-        self.windex
-    }
-
-    /// DRAM-bus bytes one cache line effectively occupies: encrypted EPC
-    /// lines carry MEE counter/MAC traffic, so under enclave execution they
-    /// consume proportionally more of the bandwidth budget (this is what
-    /// keeps the few-percent MEE tax visible even when a phase saturates
-    /// the memory bus, Fig 13/15).
-    fn line_bus_bytes(&self, enc: bool, write: bool) -> f64 {
-        let base = CACHE_LINE as f64;
-        if !enc {
-            return base;
-        }
-        let f = if write {
-            self.m.cfg.mem.mee_stream_write_factor
-        } else {
-            self.m.cfg.mem.mee_stream_factor
-        };
-        base * f
-    }
-
-    /// Cost of issuing one scalar stream-element access in the current
-    /// mode (used by the incremental stream reader/writer helpers).
-    fn stream_issue_cost(&self, write: bool) -> f64 {
-        if !write && self.m.mode == ExecMode::Enclave {
-            STREAM_ELEM_ISSUE + ENCLAVE_STREAM_LOAD_TAX
-        } else {
-            STREAM_ELEM_ISSUE
-        }
-    }
-
-    /// Socket (NUMA node) of this core.
-    pub fn socket(&self) -> usize {
-        self.socket
-    }
-
-    /// Execution mode of the machine.
-    pub fn mode(&self) -> ExecMode {
-        self.m.mode
-    }
-
-    /// Cycles this worker has accumulated in the current phase.
-    pub fn busy_cycles(&self) -> f64 {
-        self.cycles
-    }
-
-    /// Charge `n` scalar ALU operations.
-    #[inline]
-    pub fn compute(&mut self, n: u64) {
-        self.m.counters.alu_ops += n;
-        self.cycles += n as f64 * self.m.cfg.pipeline.cycles_per_op;
-        self.fault_tick();
-    }
-
-    /// Charge `n` 512-bit vector operations.
-    #[inline]
-    pub fn vec_compute(&mut self, n: u64) {
-        self.m.counters.vec_ops += n;
-        self.cycles += n as f64 * self.m.cfg.pipeline.cycles_per_vec_op;
-        self.fault_tick();
-    }
-
-    /// Charge raw cycles (e.g. a modelled library call).
-    #[inline]
-    pub fn charge(&mut self, cycles: f64) {
-        self.cycles += cycles;
-        self.fault_tick();
-    }
-
-    /// Perform one OCALL round trip from this core, charging the worker's
-    /// cycle clock instead of the machine wall clock; otherwise identical
-    /// to [`Machine::ocall`] (deterministic transient failures, bounded
-    /// backoff, `ocall_retries` accounting).
-    pub fn ocall(&mut self) -> u32 {
-        if self.m.mode != ExecMode::Enclave {
-            return 0;
-        }
-        let at = self.m.core_clock[self.id] + self.cycles;
-        let retries = match &mut self.m.faults {
-            Some(engine) => engine.plan_ocall(at),
-            None => 0,
-        };
-        let backoff = self
-            .m
-            .faults
-            .as_ref()
-            .and_then(|engine| engine.profile().ocall)
-            .map_or(0.0, |o| o.backoff_cycles);
-        self.cycles += ocall_cost(retries, self.m.cfg.transitions.transition_cycles, backoff);
-        self.m.counters.transitions += 2 * (1 + retries as u64);
-        self.m.counters.ocall_retries += retries as u64;
-        self.fault_tick();
-        retries
-    }
-
-    /// Fault-injection hook, called after every cycle-advancing charge:
-    /// delivers asynchronous interrupts that came due on this core and
-    /// inflates the EPC pressure balloon once its threshold is crossed. A
-    /// machine without faults installed pays a single branch.
-    #[inline]
-    fn fault_tick(&mut self) {
-        if self.m.faults.is_some() {
-            self.fault_tick_slow();
-        }
-    }
-
-    #[cold]
-    fn fault_tick_slow(&mut self) {
-        let base = self.m.core_clock[self.id];
-        // EPC pressure: once the balloon inflates, every touch beyond the
-        // shrunken residency pages through the SGXv1-style pager
-        // (`pre_touch`), and `finish_phase` serializes the fault train.
-        if self.m.mode == ExecMode::Enclave && self.m.pager.is_none() {
-            let clock = base + self.cycles;
-            let resident = self.m.faults.as_mut().and_then(|engine| engine.poll_balloon(clock));
-            if let Some(resident_bytes) = resident {
-                let mut paging = self.m.cfg.paging;
-                paging.resident_bytes = resident_bytes;
-                self.m.pager = Some(Pager::new(&paging));
-            }
-        }
-        // Interrupt delivery. Interrupts stay masked while one is serviced
-        // (the next event is scheduled from the post-handler clock), so a
-        // storm whose handler outlasts the mean interval cannot livelock.
-        loop {
-            let clock = base + self.cycles;
-            let due = self
-                .m
-                .faults
-                .as_ref()
-                .is_some_and(|engine| engine.interrupt_due(self.id, clock));
-            if !due {
-                return;
-            }
-            let cost = match self.m.mode {
-                ExecMode::Enclave => {
-                    // An AEX: scrub state, exit, kernel handler, ERESUME —
-                    // a full enclave round trip — and the core resumes with
-                    // cold L1/TLB/stream state, so the refill cost emerges
-                    // organically from the cache model.
-                    self.m.counters.aex_events += 1;
-                    self.m.counters.transitions += 2;
-                    let hw = &mut self.m.cores[self.id];
-                    hw.l1.flush();
-                    hw.streams.reset();
-                    hw.tlb.fill(u64::MAX);
-                    2.0 * self.m.cfg.transitions.transition_cycles
-                }
-                // A native interrupt is just a kernel round trip: no
-                // enclave state to scrub, no TLB flush.
-                ExecMode::Native => self.m.cfg.interrupts.native_interrupt_cycles,
-            };
-            self.cycles += cost;
-            if let Some(engine) = self.m.faults.as_mut() {
-                engine.interrupt_fired(self.id, clock, base + self.cycles);
-            }
-        }
-    }
-
-    /// Charge the expected cost of a data-dependent branch that the
-    /// predictor misses with probability `miss_prob` (e.g. CrkJoin's
-    /// two-pointer comparison on a random key bit: 0.5).
-    #[inline]
-    pub fn branch(&mut self, miss_prob: f64) {
-        self.cycles += miss_prob.clamp(0.0, 1.0) * BRANCH_MISS_CYCLES;
-        self.fault_tick();
-    }
-
-    /// Charge one enclave boundary crossing (no-op natively).
-    pub fn transition(&mut self) {
-        if self.m.mode == ExecMode::Enclave {
-            self.cycles += self.m.cfg.transitions.transition_cycles;
-            self.m.counters.transitions += 1;
-            self.fault_tick();
-        }
-    }
-
-    /// Open an explicit issue group: all accesses inside `f` are declared
-    /// independent of one another (the paper's Listing 2 manual unroll —
-    /// compute N indexes first, then issue N memory operations). Native
-    /// mode is insensitive to grouping; enclave mode only overlaps
-    /// *within* a group.
-    pub fn group<R>(&mut self, f: impl FnOnce(&mut Core) -> R) -> R {
-        assert!(self.group.is_none(), "issue groups do not nest");
-        self.group = Some(GroupAcc::default());
-        let r = f(self);
-        // sgx-lint: allow(panic-in-library) set to Some two lines above; groups cannot nest (asserted on entry)
-        let g = self.group.take().expect("group still open");
-        self.close_group(g);
-        r
-    }
-
-    /// Mark the accesses inside `f` as a serial dependency chain (pointer
-    /// chasing): each access waits for the full latency of the previous
-    /// one, in both modes.
-    pub fn dependent<R>(&mut self, f: impl FnOnce(&mut Core) -> R) -> R {
-        self.dependent_depth += 1;
-        let r = f(self);
-        self.dependent_depth -= 1;
-        r
-    }
-
-    fn close_group(&mut self, g: GroupAcc) {
-        if g.count == 0 {
-            return;
-        }
-        let p = self.m.cfg.pipeline;
-        let mem = self.m.cfg.mem;
-        let cost = match self.m.mode {
-            ExecMode::Native => {
-                (g.near_sum / p.ilp_native).max(g.far_sum / mem.mlp_native)
-            }
-            ExecMode::Enclave => {
-                self.m.counters.enclave_groups += 1;
-                let near = g.near_max + (g.near_sum - g.near_max) / p.ilp_enclave_group;
-                near.max(g.far_sum / mem.mlp_enclave) + p.enclave_group_overhead
-            }
-        };
-        self.cycles += cost;
-        self.fault_tick();
-    }
-
-    /// Resolve + charge a random-pattern access of `bytes` at `addr`.
-    #[inline]
-    pub(crate) fn access(&mut self, addr: u64, bytes: usize, kind: AccessKind) {
-        debug_assert!(bytes <= CACHE_LINE);
-        match kind {
-            AccessKind::Load => self.m.counters.loads += 1,
-            AccessKind::Store => self.m.counters.stores += 1,
-            AccessKind::Rmw => {
-                self.m.counters.loads += 1;
-                self.m.counters.stores += 1;
-            }
-        }
-        // Context-switch detection: the enclave serialization penalty
-        // strikes the first load after a stream element was consumed (the
-        // Listing 1 pattern: scan a table, then use the loaded value for an
-        // irregular access). Later loads of the same chain — and loops that
-        // only touch one object, like the paper's increment-only check —
-        // overlap normally.
-        let switched = self.last_rand_addr == CTX_POISON;
-        if kind != AccessKind::Store {
-            self.last_rand_addr = addr;
-        }
-        let first = line_of(addr);
-        let last = line_of(addr + bytes as u64 - 1);
-        for line in first..=last {
-            let mut cost = self.resolve_line(line, kind, false);
-            cost.serial_load &= switched;
-            self.post(cost);
-        }
-    }
-
-    /// Invalidate the random-access context (called per stream element so
-    /// interleaved random accesses count as object switches).
-    #[inline]
-    fn poison_context(&mut self) {
-        self.last_rand_addr = CTX_POISON;
-    }
-
-    /// Commit a resolved access cost to the pipeline model.
-    fn post(&mut self, c: AccessCost) {
-        if self.dependent_depth > 0 {
-            // Serial dependency chain: no overlap in either mode. No extra
-            // enclave overhead — the paper's in-cache pointer chase runs at
-            // parity (Fig 5), and on DRAM chases the MEE fill latency in
-            // `far` already carries the whole penalty.
-            self.cycles += c.near + c.far;
-            self.fault_tick();
-            return;
-        }
-        if let Some(g) = &mut self.group {
-            g.near_sum += c.near;
-            g.near_max = g.near_max.max(c.near);
-            g.far_sum += c.far;
-            g.count += 1;
-            return;
-        }
-        let p = self.m.cfg.pipeline;
-        let mem = self.m.cfg.mem;
-        let cost = match self.m.mode {
-            ExecMode::Native => (c.near / p.ilp_native).max(c.far / mem.mlp_native),
-            ExecMode::Enclave => {
-                if c.serial_load {
-                    // The §4.2 restriction: ungrouped loads do not overlap
-                    // across iterations in enclave mode.
-                    c.near + mem.enclave_serial_far_fraction * c.far + p.enclave_group_overhead
-                } else {
-                    // Pooled path: never overlaps *better* than native
-                    // (`ilp_enclave_group` only applies within explicit
-                    // issue groups).
-                    (c.near / p.ilp_native.min(p.ilp_enclave_group))
-                        .max(c.far / mem.mlp_enclave)
-                }
-            }
-        };
-        self.cycles += cost;
-        self.fault_tick();
-    }
-
-    /// Walk the cache hierarchy for one line; fills caches and accounts
-    /// bandwidth. `stream` forces the prefetched-fill cost (explicit
-    /// sequential APIs).
-    fn resolve_line(&mut self, line: u64, kind: AccessKind, stream: bool) -> AccessCost {
-        let write = kind != AccessKind::Load;
-        let addr = line * CACHE_LINE as u64;
-        let region = Region::of_addr(addr);
-        self.pre_touch(addr, region);
-        let walk = self.tlb_walk(addr);
-
-        let cfg = &self.m.cfg;
-        let (l1_lat, l2_lat, l3_lat) = (cfg.l1d.latency, cfg.l2.latency, cfg.l3.latency);
-        let hw = &mut self.m.cores[self.id];
-        let level;
-        if hw.l1.access(line, write) {
-            self.m.counters.l1_hits += 1;
-            level = HitLevel::L1;
-        } else if hw.l2.access(line, write) {
-            self.m.counters.l2_hits += 1;
-            level = HitLevel::L2;
-            self.install_l1(line, write);
-        } else if self.m.l3[self.socket].access(line, write) {
-            self.m.counters.l3_hits += 1;
-            level = HitLevel::L3;
-            self.install_l1(line, write);
-        } else {
-            // DRAM fill.
-            self.m.counters.dram_fills += 1;
-            let prefetched = stream || self.m.cores[self.id].streams.observe(line);
-            if prefetched {
-                self.m.counters.prefetched_fills += 1;
-            }
-            let remote = region.node() != self.socket;
-            if remote {
-                self.m.counters.remote_fills += 1;
-                self.upi_bytes += CACHE_LINE as f64;
-            }
-            let enc = region.is_epc() && self.m.mode == ExecMode::Enclave;
-            if enc {
-                self.m.counters.epc_fills += 1;
-            }
-            self.dram_bytes[region.node()] += self.line_bus_bytes(enc, false);
-            // Install bottom-up so evictions cascade.
-            self.install_l3(line, write);
-            self.install_l1(line, write);
-            let cfg = &self.m.cfg;
-            let cost = if prefetched {
-                let mut per_line = cfg.mem.stream_line_cycles;
-                if remote {
-                    per_line += cfg.upi.remote_stream_extra;
-                    if enc {
-                        per_line += cfg.upi.uce_stream_extra;
-                    }
-                }
-                if enc {
-                    per_line *= if write {
-                        cfg.mem.mee_stream_write_factor
-                    } else {
-                        cfg.mem.mee_stream_factor
-                    };
-                }
-                if write {
-                    per_line += cfg.mem.writeback_line_cycles;
-                    // Write-allocate: the eventual write-back consumes
-                    // bandwidth too.
-                    self.dram_bytes[region.node()] += self.line_bus_bytes(enc, true);
-                    if remote {
-                        self.upi_bytes += CACHE_LINE as f64;
-                    }
-                }
-                return AccessCost { near: PREFETCHED_NEAR, far: per_line + walk, serial_load: false };
-            } else {
-                let mut far = cfg.mem.dram_latency - cfg.l3.latency + walk;
-                if remote {
-                    far += cfg.upi.remote_latency;
-                }
-                if enc {
-                    far += cfg.mem.mee_fill_latency;
-                    if remote {
-                        far += cfg.upi.uce_latency;
-                    }
-                    if write {
-                        far += cfg.mem.mee_write_penalty;
-                    }
-                }
-                AccessCost { near: cfg.l3.latency, far, serial_load: kind == AccessKind::Rmw }
-            };
-            return cost;
-        }
-        let near = match level {
-            HitLevel::L1 => l1_lat,
-            HitLevel::L2 => l2_lat,
-            HitLevel::L3 => l3_lat,
-        };
-        AccessCost { near, far: walk, serial_load: kind == AccessKind::Rmw }
-    }
-
-    /// Probe the per-core TLB for `addr`'s page; returns the page-walk
-    /// cycles (0 on a hit). Walks are pooled with the far/DRAM portion of
-    /// the access (they overlap with other outstanding misses).
-    #[inline]
-    fn tlb_walk(&mut self, addr: u64) -> f64 {
-        let page = addr / PAGE_SIZE as u64;
-        let hw = &mut self.m.cores[self.id];
-        let slot = (page as usize) % hw.tlb.len();
-        if hw.tlb[slot] == page {
-            0.0
-        } else {
-            hw.tlb[slot] = page;
-            self.m.counters.tlb_misses += 1;
-            self.m.cfg.mem.tlb_walk_cycles
-        }
-    }
-
-    /// EDMM commit and SGXv1 paging checks for a charged touch.
-    #[inline]
-    fn pre_touch(&mut self, addr: u64, region: Region) {
-        if self.m.mode != ExecMode::Enclave || !region.is_epc() {
-            return;
-        }
-        if self.m.sealed {
-            let off = addr - region.base();
-            if off >= self.m.seal_watermark[region.index()] {
-                let page = addr / PAGE_SIZE as u64;
-                if self.m.committed_pages.insert(page) {
-                    self.cycles += self.m.cfg.edmm.page_add_cycles;
-                    self.edmm_pages += 1;
-                    self.m.counters.edmm_pages += 1;
-                    self.fault_tick();
-                }
-            }
-        }
-        let fault = self.m.pager.as_mut().map_or(0.0, |pager| pager.touch(addr));
-        if fault > 0.0 {
-            self.cycles += fault;
-            self.faults += 1;
-            self.m.counters.epc_page_faults += 1;
-            self.fault_tick();
-        }
-    }
-
-    fn install_l1(&mut self, line: u64, dirty: bool) {
-        let hw = &mut self.m.cores[self.id];
-        if let Evicted::Dirty(v) = hw.l1.insert(line, dirty) {
-            self.spill_l2(v);
-        }
-    }
-
-    fn spill_l2(&mut self, victim: u64) {
-        let hw = &mut self.m.cores[self.id];
-        if let Evicted::Dirty(v) = hw.l2.insert(victim, true) {
-            self.spill_l3(v);
-        }
-    }
-
-    fn install_l3(&mut self, line: u64, dirty: bool) {
-        let hw = &mut self.m.cores[self.id];
-        if let Evicted::Dirty(v) = hw.l2.insert(line, dirty) {
-            if let Evicted::Dirty(v2) = self.m.l3[self.socket].insert(v, true) {
-                self.writeback(v2);
-            }
-        }
-        if let Evicted::Dirty(v) = self.m.l3[self.socket].insert(line, dirty) {
-            self.writeback(v);
-        }
-    }
-
-    fn spill_l3(&mut self, victim: u64) {
-        if let Evicted::Dirty(v) = self.m.l3[self.socket].insert(victim, true) {
-            self.writeback(v);
-        }
-    }
-
-    /// Account a dirty L3 eviction: write-back bandwidth plus a small
-    /// latency share folded into the evicting access.
-    fn writeback(&mut self, line: u64) {
-        self.m.counters.writebacks += 1;
-        let region = Region::of_addr(line * CACHE_LINE as u64);
-        let enc = region.is_epc() && self.m.mode == ExecMode::Enclave;
-        self.dram_bytes[region.node()] += self.line_bus_bytes(enc, true);
-        if region.node() != self.socket {
-            self.upi_bytes += CACHE_LINE as f64;
-        }
-        self.cycles += self.m.cfg.mem.writeback_line_cycles
-            / self.m.cfg.mem.mlp_native.max(1.0);
-        self.fault_tick();
-    }
-
-    /// Charge one non-temporal 64-byte store to `addr` (software
-    /// write-combining buffer flush, materialization). Unlike a regular
-    /// store, an NT store writes the full line without a read-for-ownership
-    /// fill and bypasses the caches — half the bus traffic of a
-    /// write-allocate miss, and no pollution.
-    pub fn stream_store_line(&mut self, addr: u64) {
-        let region = Region::of_addr(addr);
-        self.pre_touch(addr, region);
-        let walk = self.tlb_walk(addr);
-        self.m.counters.stores += 1;
-        self.m.counters.stream_lines += 1;
-        let line = line_of(addr);
-        // NT semantics: any cached copy is invalidated, uncharged.
-        let hw = &mut self.m.cores[self.id];
-        hw.l1.invalidate(line);
-        hw.l2.invalidate(line);
-        self.m.l3[self.socket].invalidate(line);
-        let remote = region.node() != self.socket;
-        let enc = region.is_epc() && self.m.mode == ExecMode::Enclave;
-        let cfg = &self.m.cfg;
-        let mut per_line = cfg.mem.stream_line_cycles;
-        if remote {
-            per_line += cfg.upi.remote_stream_extra;
-            if enc {
-                per_line += cfg.upi.uce_stream_extra;
-            }
-        }
-        if enc {
-            per_line *= cfg.mem.mee_stream_write_factor;
-        }
-        self.dram_bytes[region.node()] += self.line_bus_bytes(enc, true);
-        if remote {
-            self.upi_bytes += CACHE_LINE as f64;
-        }
-        self.cycles += per_line + VEC_ISSUE + walk / self.m.cfg.mem.mlp_native;
-        self.fault_tick();
-    }
-
-    /// Charge a streaming touch of `lines` consecutive cache lines starting
-    /// at `addr`, plus `elems` element-level load/store issues, using the
-    /// vector flag to pick scalar or 512-bit issue costs. Used by the
-    /// `SimVec` stream APIs.
-    pub(crate) fn stream_touch(
-        &mut self,
-        addr: u64,
-        lines: u64,
-        elems: u64,
-        write: bool,
-        vector: bool,
-    ) {
-        let kind = if write { AccessKind::Store } else { AccessKind::Load };
-        if write {
-            self.m.counters.stores += elems;
-        } else {
-            self.m.counters.loads += elems;
-        }
-        self.m.counters.stream_lines += lines;
-        let first = line_of(addr);
-        let mut line_cost_total = 0.0;
-        let mut any_dram = false;
-        for line in first..first + lines {
-            let (c, dram) = self.resolve_stream_line(line, kind);
-            line_cost_total += c;
-            any_dram |= dram;
-        }
-        let issue = if vector { VEC_ISSUE } else { STREAM_ELEM_ISSUE };
-        // The enclave per-load tax only applies to demand fills the MEE
-        // touches: cache-resident streams run at parity (Fig 12/15).
-        let per_elem_tax = if !write && any_dram && self.m.mode == ExecMode::Enclave {
-            ENCLAVE_STREAM_LOAD_TAX
-        } else {
-            0.0
-        };
-        let n_issues = if vector { lines.max(1) } else { elems };
-        self.cycles += line_cost_total + n_issues as f64 * (issue + per_elem_tax);
-        self.fault_tick();
-    }
-
-    /// Per-line cost of a stream access through the hierarchy; the flag
-    /// reports whether the line came from DRAM.
-    fn resolve_stream_line(&mut self, line: u64, kind: AccessKind) -> (f64, bool) {
-        let write = kind != AccessKind::Load;
-        let addr = line * CACHE_LINE as u64;
-        let region = Region::of_addr(addr);
-        self.pre_touch(addr, region);
-        // Page walks on stream paths overlap well (one per 64 lines);
-        // charge them pooled like the rest of the line cost.
-        let walk = self.tlb_walk(addr) / self.m.cfg.mem.mlp_native;
-        let hw = &mut self.m.cores[self.id];
-        if hw.l1.access(line, write) {
-            self.m.counters.l1_hits += 1;
-            return (L1_STREAM_LINE + walk, false);
-        }
-        if hw.l2.access(line, write) {
-            self.m.counters.l2_hits += 1;
-            self.install_l1(line, write);
-            return (L2_STREAM_LINE + walk, false);
-        }
-        if self.m.l3[self.socket].access(line, write) {
-            self.m.counters.l3_hits += 1;
-            self.install_l1(line, write);
-            return (L3_STREAM_LINE + walk, false);
-        }
-        self.m.counters.dram_fills += 1;
-        self.m.counters.prefetched_fills += 1;
-        let remote = region.node() != self.socket;
-        let enc = region.is_epc() && self.m.mode == ExecMode::Enclave;
-        if enc {
-            self.m.counters.epc_fills += 1;
-        }
-        self.dram_bytes[region.node()] += self.line_bus_bytes(enc, false);
-        if remote {
-            self.m.counters.remote_fills += 1;
-            self.upi_bytes += CACHE_LINE as f64;
-        }
-        self.install_l3(line, write);
-        self.install_l1(line, write);
-        let cfg = &self.m.cfg;
-        let mut per_line = cfg.mem.stream_line_cycles;
-        if remote {
-            per_line += cfg.upi.remote_stream_extra;
-            if enc {
-                per_line += cfg.upi.uce_stream_extra;
-            }
-        }
-        if enc {
-            per_line *= if write {
-                cfg.mem.mee_stream_write_factor
-            } else {
-                cfg.mem.mee_stream_factor
-            };
-        }
-        if write {
-            per_line += cfg.mem.writeback_line_cycles;
-            self.dram_bytes[region.node()] += self.line_bus_bytes(enc, true);
-            if remote {
-                self.upi_bytes += CACHE_LINE as f64;
-            }
-        }
-        (per_line + walk, true)
-    }
-}
-
-// ---------------------------------------------------------------------------
-// Charged accessors on SimVec (kept here so the cost model stays private).
-// ---------------------------------------------------------------------------
-
-impl<T: Copy> SimVec<T> {
-    /// Charged random-pattern read of element `i`.
-    #[inline]
-    pub fn get(&self, core: &mut Core<'_>, i: usize) -> T {
-        core.access(self.addr(i), Self::elem_size(), AccessKind::Load);
-        self.peek(i)
-    }
-
-    /// Charged random-pattern write of element `i`.
-    #[inline]
-    pub fn set(&mut self, core: &mut Core<'_>, i: usize, v: T) {
-        core.access(self.addr(i), Self::elem_size(), AccessKind::Store);
-        self.poke(i, v);
-    }
-
-    /// Charged read-modify-write of element `i`.
-    #[inline]
-    pub fn rmw(&mut self, core: &mut Core<'_>, i: usize, f: impl FnOnce(&mut T)) {
-        core.access(self.addr(i), Self::elem_size(), AccessKind::Rmw);
-        let mut v = self.peek(i);
-        f(&mut v);
-        self.poke(i, v);
-    }
-
-    /// Charged sequential scalar read of `range`, invoking
-    /// `f(core, index, value)` per element; charging is interleaved line by
-    /// line so the closure can issue further charged work (e.g. histogram
-    /// increments). Models a forward scan the prefetcher covers.
-    pub fn read_stream(
-        &self,
-        core: &mut Core<'_>,
-        range: std::ops::Range<usize>,
-        mut f: impl FnMut(&mut Core<'_>, usize, T),
-    ) {
-        if range.is_empty() {
-            return;
-        }
-        let per_line = (CACHE_LINE / Self::elem_size()).max(1);
-        let mut i = range.start;
-        while i < range.end {
-            // Elements up to the next line boundary.
-            let line_end = (i / per_line + 1) * per_line;
-            let hi = line_end.min(range.end);
-            core.stream_touch(self.addr(i), 1, (hi - i) as u64, false, false);
-            for j in i..hi {
-                core.poison_context();
-                f(core, j, self.peek(j));
-            }
-            i = hi;
-        }
-    }
-
-    /// Charged sequential *vectorized* read (512-bit loads): `f` receives
-    /// the core, the starting element index, and the slice covered by each
-    /// 64-byte vector.
-    pub fn read_stream_vec(
-        &self,
-        core: &mut Core<'_>,
-        range: std::ops::Range<usize>,
-        mut f: impl FnMut(&mut Core<'_>, usize, &[T]),
-    ) {
-        if range.is_empty() {
-            return;
-        }
-        let per_line = (CACHE_LINE / Self::elem_size()).max(1);
-        let mut i = range.start;
-        while i < range.end {
-            let line_end = (i / per_line + 1) * per_line;
-            let hi = line_end.min(range.end);
-            core.stream_touch(self.addr(i), 1, (hi - i) as u64, false, true);
-            core.poison_context();
-            f(core, i, &self.as_slice_untracked()[i..hi]);
-            i = hi;
-        }
-    }
-
-    /// Sequential writer that charges stream-store costs as it advances.
-    pub fn stream_writer(&mut self, start: usize) -> StreamWriter<'_, T> {
-        StreamWriter { vec: self, pos: start, line_open: u64::MAX }
-    }
-
-    /// Incremental sequential reader over `range`, for interleaved
-    /// consumption of several streams at once (merge joins, two-pointer
-    /// partitioning). Each stream charges like `read_stream`.
-    pub fn stream_reader(&self, range: std::ops::Range<usize>) -> StreamReader<'_, T> {
-        StreamReader { vec: self, pos: range.start, end: range.end, line_open: u64::MAX }
-    }
-}
-
-/// Pull-style sequential reader over a `SimVec` (see
-/// [`SimVec::stream_reader`]).
-pub struct StreamReader<'v, T> {
-    vec: &'v SimVec<T>,
-    pos: usize,
-    end: usize,
-    line_open: u64,
-}
-
-impl<'v, T: Copy> StreamReader<'v, T> {
-    /// Read the next element, or `None` at the end of the range.
-    #[inline]
-    pub fn next(&mut self, core: &mut Core<'_>) -> Option<T> {
-        if self.pos >= self.end {
-            return None;
-        }
-        let addr = self.vec.addr(self.pos);
-        let line = line_of(addr);
-        if line != self.line_open {
-            core.stream_touch(addr, 1, 0, false, false);
-            self.line_open = line;
-        }
-        let cost = core.stream_issue_cost(false);
-        core.charge(cost);
-        core.poison_context();
-        let v = self.vec.peek(self.pos);
-        self.pos += 1;
-        Some(v)
-    }
-
-    /// Peek the next element without consuming or charging (the merge
-    /// loop's comparison re-reads a register-resident value).
-    #[inline]
-    pub fn peek_next(&self) -> Option<T> {
-        (self.pos < self.end).then(|| self.vec.peek(self.pos))
-    }
-
-    /// Elements remaining.
-    pub fn remaining(&self) -> usize {
-        self.end - self.pos
-    }
-
-    /// Current read position.
-    pub fn pos(&self) -> usize {
-        self.pos
-    }
-}
-
-/// Append-style sequential writer over a `SimVec` (join/scan
-/// materialization). Charges one stream-store line cost per 64-byte line
-/// crossed plus a per-element issue cost.
-pub struct StreamWriter<'v, T> {
-    vec: &'v mut SimVec<T>,
-    pos: usize,
-    line_open: u64,
-}
-
-impl<'v, T: Copy> StreamWriter<'v, T> {
-    /// Write the next element.
-    #[inline]
-    pub fn push(&mut self, core: &mut Core<'_>, v: T) {
-        let addr = self.vec.addr(self.pos);
-        let line = line_of(addr);
-        if line != self.line_open {
-            core.stream_touch(addr, 1, 0, true, false);
-            self.line_open = line;
-        }
-        core.charge(STREAM_ELEM_ISSUE);
-        self.vec.poke(self.pos, v);
-        self.pos += 1;
-    }
-
-    /// Elements written so far (next write position).
-    pub fn pos(&self) -> usize {
-        self.pos
-    }
-}
-
 #[cfg(test)]
-mod tests {
-    use super::*;
-    use crate::config::{scaled_profile, xeon_gold_6326};
-
-    fn machine(setting: Setting) -> Machine {
-        Machine::new(scaled_profile(), setting)
-    }
-
-    #[test]
-    fn wall_advances_with_work() {
-        let mut m = machine(Setting::PlainCpu);
-        let v = m.alloc::<u64>(1024);
-        assert_eq!(m.wall_cycles(), 0.0);
-        m.run(|c| {
-            let mut s = 0u64;
-            for i in 0..1024 {
-                s = s.wrapping_add(v.get(c, i));
-            }
-            assert_eq!(s, 0);
-        });
-        assert!(m.wall_cycles() > 0.0);
-    }
-
-    #[test]
-    fn repeated_access_hits_cache_and_gets_cheaper() {
-        let mut m = machine(Setting::PlainCpu);
-        // 2 KB fits the scaled 3 KB L1d; access in a scrambled order so the
-        // stream detector cannot kick in.
-        let v = m.alloc::<u64>(256);
-        let pass = |m: &mut Machine, v: &SimVec<u64>| {
-            m.run(|c| {
-                for k in 0..10_000usize {
-                    v.get(c, (k * 97) % v.len());
-                }
-                c.busy_cycles()
-            })
-        };
-        let cold = pass(&mut m, &v);
-        let warm = pass(&mut m, &v);
-        assert!(warm < cold, "warm {warm} !< cold {cold}");
-        assert!(m.counters().l1_hits > 0);
-    }
-
-    #[test]
-    fn enclave_epc_random_access_slower_than_native() {
-        let run = |setting: Setting| {
-            let mut m = machine(setting);
-            let mut v = m.alloc::<u64>(1 << 20); // 8 MB >> scaled L3 (1.5 MB)
-            m.run(|c| {
-                let mut x = 12345u64;
-                for _ in 0..100_000 {
-                    x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
-                    let i = (x >> 33) as usize % v.len();
-                    v.rmw(c, i, |e| *e += 1);
-                }
-            });
-            m.wall_cycles()
-        };
-        let native = run(Setting::PlainCpu);
-        let enclave = run(Setting::SgxDataInEnclave);
-        assert!(
-            enclave > 1.5 * native,
-            "EPC random access should be much slower: native {native}, enclave {enclave}"
-        );
-    }
-
-    #[test]
-    fn streaming_is_much_cheaper_than_random_per_byte() {
-        let mut m = machine(Setting::PlainCpu);
-        let v = m.alloc::<u64>(1 << 20);
-        let stream = m.run(|c| {
-            v.read_stream(c, 0..v.len(), |_, _, _| {});
-            c.busy_cycles()
-        });
-        m.flush_caches();
-        let random = m.run(|c| {
-            let mut x = 9u64;
-            for _ in 0..v.len() {
-                x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
-                v.get(c, (x >> 33) as usize % v.len());
-            }
-            c.busy_cycles()
-        });
-        assert!(
-            random > 3.0 * stream,
-            "random {random} should dwarf stream {stream} for same element count"
-        );
-    }
-
-    #[test]
-    fn groups_help_only_in_enclave_mode() {
-        // The paper's Listing 1/2 pattern: scan a key array sequentially
-        // and bump a cache-resident histogram per key. The naive loop
-        // alternates objects every iteration and suffers the enclave
-        // serialization penalty; the 8x-unrolled variant (issue groups)
-        // recovers it.
-        let run = |setting: Setting, grouped: bool| {
-            let mut m = machine(setting);
-            let mut keys = m.alloc::<u64>(16 * 1024);
-            for i in 0..keys.len() {
-                keys.poke(i, (i as u64).wrapping_mul(2654435761) % 512);
-            }
-            let mut hist = m.alloc::<u32>(512); // cache-resident
-            m.run(|c| {
-                if grouped {
-                    let mut batch = [0usize; 8];
-                    let mut fill = 0;
-                    keys.read_stream(c, 0..keys.len(), |c, _, k| {
-                        batch[fill] = k as usize;
-                        fill += 1;
-                        if fill == 8 {
-                            c.group(|c| {
-                                for &i in &batch {
-                                    hist.rmw(c, i, |e| *e += 1);
-                                }
-                            });
-                            fill = 0;
-                        }
-                    });
-                } else {
-                    keys.read_stream(c, 0..keys.len(), |c, _, k| {
-                        hist.rmw(c, k as usize, |e| *e += 1);
-                    });
-                }
-            });
-            m.wall_cycles()
-        };
-        let native_plain = run(Setting::PlainCpu, false);
-        let native_grouped = run(Setting::PlainCpu, true);
-        let enclave_plain = run(Setting::SgxDataInEnclave, false);
-        let enclave_grouped = run(Setting::SgxDataInEnclave, true);
-        // Native: grouping is irrelevant (the OOO engine already reorders).
-        assert!((native_plain - native_grouped).abs() / native_plain < 0.05);
-        // Enclave: ungrouped far slower; grouping recovers most of it.
-        assert!(enclave_plain > 2.0 * native_plain);
-        assert!(enclave_grouped < 0.6 * enclave_plain);
-    }
-
-    #[test]
-    fn same_object_increments_have_no_enclave_penalty() {
-        // §4.2: "incrementing the values inside a cache-resident histogram
-        // alone is not the cause of the slowdown" — an LCG-indexed
-        // increment loop over one small array runs at native speed.
-        let run = |setting: Setting| {
-            let mut m = machine(setting);
-            let mut hist = m.alloc::<u32>(512);
-            m.run(|c| {
-                let mut x = 7u64;
-                for _ in 0..8000 {
-                    x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
-                    c.compute(3);
-                    hist.rmw(c, (x >> 33) as usize % 512, |e| *e += 1);
-                }
-            });
-            m.wall_cycles()
-        };
-        let native = run(Setting::PlainCpu);
-        let enclave = run(Setting::SgxDataInEnclave);
-        assert!(
-            enclave < 1.3 * native,
-            "increment-only loop should be near-native: native {native}, enclave {enclave}"
-        );
-    }
-
-    #[test]
-    fn data_outside_enclave_avoids_mee_but_keeps_execution_penalty() {
-        // Histogram-like pattern over a large table: the execution penalty
-        // (object-alternating loads) hits both SGX settings; the MEE fill
-        // latency additionally hits only the data-in-enclave setting.
-        let run = |setting: Setting| {
-            let mut m = machine(setting);
-            let keys = m.alloc::<u64>(64 * 1024);
-            let mut table = m.alloc::<u64>(1 << 20); // 8 MB >> scaled L3
-            m.run(|c| {
-                keys.read_stream(c, 0..keys.len(), |c, i, _| {
-                    let idx = (i as u64).wrapping_mul(2654435761) as usize % table.len();
-                    table.rmw(c, idx, |e| *e += 1);
-                });
-            });
-            m.wall_cycles()
-        };
-        let native = run(Setting::PlainCpu);
-        let outside = run(Setting::SgxDataOutside);
-        let inside = run(Setting::SgxDataInEnclave);
-        assert!(outside > 1.2 * native, "enclave execution penalty missing");
-        assert!(inside > 1.1 * outside, "MEE penalty missing");
-    }
-
-    #[test]
-    fn remote_access_slower_and_counts_upi() {
-        let mut m = Machine::new(xeon_gold_6326().scaled(16), Setting::PlainCpu);
-        let local = m.alloc_on::<u64>(1 << 18, Region::Untrusted(0));
-        let remote = m.alloc_on::<u64>(1 << 18, Region::Untrusted(1));
-        let t_local = m.run(|c| {
-            let mut x = 5u64;
-            for _ in 0..20_000 {
-                x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
-                local.get(c, (x >> 33) as usize % local.len());
-            }
-            c.busy_cycles()
-        });
-        assert_eq!(m.counters().remote_fills, 0);
-        let t_remote = m.run(|c| {
-            let mut x = 5u64;
-            for _ in 0..20_000 {
-                x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
-                remote.get(c, (x >> 33) as usize % remote.len());
-            }
-            c.busy_cycles()
-        });
-        assert!(m.counters().remote_fills > 0);
-        assert!(t_remote > t_local, "remote {t_remote} !> local {t_local}");
-    }
-
-    #[test]
-    fn parallel_phase_wall_is_max_of_workers() {
-        let mut m = machine(Setting::PlainCpu);
-        let v = m.alloc::<u64>(1 << 16);
-        let stats = m.parallel(&[0, 1, 2, 3], |c| {
-            // Worker i does i+1 chunks of work.
-            let n = (c.id() + 1) * 1000;
-            for i in 0..n {
-                v.get(c, i % v.len());
-            }
-        });
-        assert_eq!(stats.core_cycles.len(), 4);
-        let max = stats.core_cycles.iter().cloned().fold(0.0, f64::max);
-        assert!(stats.wall_cycles >= max);
-        assert!(stats.core_cycles[3] > stats.core_cycles[0]);
-    }
-
-    #[test]
-    fn bandwidth_regulation_caps_parallel_streams() {
-        // 16 cores all streaming: aggregate demand exceeds the socket cap,
-        // so wall time must exceed a single worker's busy time.
-        let mut m = machine(Setting::PlainCpu);
-        let vs: Vec<SimVec<u64>> = (0..16).map(|_| m.alloc::<u64>(1 << 18)).collect();
-        let stats = m.parallel(&(0..16).collect::<Vec<_>>(), |c| {
-            let v = &vs[c.id()];
-            v.read_stream(c, 0..v.len(), |_, _, _| {});
-        });
-        assert!(stats.bandwidth_bound, "16 streaming cores should hit the BW cap");
-    }
-
-    #[test]
-    fn saturated_phase_wall_equals_bandwidth_bound() {
-        let mut m = machine(Setting::PlainCpu);
-        let vs: Vec<SimVec<u64>> = (0..16).map(|_| m.alloc::<u64>(1 << 18)).collect();
-        let stats = m.parallel(&(0..16).collect::<Vec<_>>(), |c| {
-            let v = &vs[c.id()];
-            v.read_stream_vec(c, 0..v.len(), |_, _, _| {});
-        });
-        assert!(stats.bandwidth_bound);
-        let bytes = 16.0 * (1u64 << 18) as f64 * 8.0;
-        let bound = bytes * m.cfg().mem.socket_bw_cycles_per_byte;
-        assert!(
-            (stats.wall_cycles - bound).abs() / bound < 1e-9,
-            "wall {} should equal the exact bandwidth bound {}",
-            stats.wall_cycles,
-            bound
-        );
-    }
-
-    #[test]
-    fn edmm_commit_charged_once_per_page() {
-        let mut m = machine(Setting::SgxDataInEnclave);
-        let _static_heap = m.alloc::<u64>(1024);
-        m.seal_enclave();
-        let mut dyn_vec = m.alloc::<u64>(2048); // 16 KB = 4 pages
-        m.run(|c| {
-            for i in 0..dyn_vec.len() {
-                dyn_vec.set(c, i, 1);
-            }
-        });
-        assert_eq!(m.counters().edmm_pages, 4);
-        let w1 = m.wall_cycles();
-        // Second pass: pages already committed, no further EDMM cost.
-        m.run(|c| {
-            for i in 0..dyn_vec.len() {
-                dyn_vec.set(c, i, 2);
-            }
-        });
-        assert_eq!(m.counters().edmm_pages, 4);
-        assert!(m.wall_cycles() - w1 < w1);
-    }
-
-    #[test]
-    fn edmm_not_charged_without_seal_or_in_native() {
-        let mut m = machine(Setting::SgxDataInEnclave);
-        let mut v = m.alloc::<u64>(2048);
-        m.run(|c| {
-            for i in 0..v.len() {
-                v.set(c, i, 1);
-            }
-        });
-        assert_eq!(m.counters().edmm_pages, 0);
-        let mut m = machine(Setting::PlainCpu);
-        m.seal_enclave();
-        let mut v = m.alloc::<u64>(2048);
-        m.run(|c| {
-            for i in 0..v.len() {
-                v.set(c, i, 1);
-            }
-        });
-        assert_eq!(m.counters().edmm_pages, 0);
-    }
-
-    #[test]
-    fn sgxv1_pager_charges_faults() {
-        let cfg = xeon_gold_6326().scaled(16).sgxv1();
-        let mut m = Machine::new(cfg, Setting::SgxDataInEnclave);
-        // Allocate far more than the scaled resident budget (92 MB/16 ≈ 5.75 MB).
-        let v = m.alloc::<u64>(4 << 20); // 32 MB
-        m.run(|c| {
-            v.read_stream(c, 0..v.len(), |_, _, _| {});
-        });
-        assert!(m.counters().epc_page_faults > 0);
-    }
-
-    #[test]
-    fn tlb_misses_charged_for_page_spread_working_sets() {
-        let mut m = machine(Setting::PlainCpu);
-        // One value per page over far more pages than the scaled TLB (96
-        // entries at 1/16 scale).
-        let v = m.alloc::<u64>(512 * 512); // 2 MB = 512 pages
-        let spread = m.run(|c| {
-            for p in 0..512 {
-                let _ = v.get(c, p * 512);
-            }
-            c.busy_cycles()
-        });
-        assert!(m.counters().tlb_misses >= 512);
-        // Same number of accesses inside a few pages: no walks after the
-        // first touches.
-        m.flush_caches();
-        let before = m.counters().tlb_misses;
-        let dense = m.run(|c| {
-            for k in 0..512 {
-                let _ = v.get(c, (k * 7) % 512);
-            }
-            c.busy_cycles()
-        });
-        assert!(m.counters().tlb_misses - before <= 8);
-        assert!(spread > dense, "page-spread accesses must cost more: {spread} vs {dense}");
-    }
-
-    #[test]
-    fn nt_store_bypasses_cache_and_halves_bus_traffic() {
-        let mut m = machine(Setting::PlainCpu);
-        let mut v = m.alloc::<u64>(8192);
-        m.run(|c| {
-            c.stream_store_line(v.addr(0));
-            for k in 0..8 {
-                v.poke(k, 7);
-            }
-        });
-        // The line is not cached afterwards: the next read misses.
-        let fills_before = m.counters().dram_fills;
-        m.run(|c| {
-            let _ = v.get(c, 0);
-        });
-        assert_eq!(m.counters().dram_fills, fills_before + 1, "NT store must not install");
-    }
-
-    #[test]
-    fn epc_capacity_is_enforced() {
-        let mut cfg = scaled_profile();
-        cfg.epc_per_socket = 1 << 20; // 1 MB EPC
-        let mut m = Machine::new(cfg, Setting::SgxDataInEnclave);
-        assert!(m.try_alloc_on::<u64>(64 * 1024, Region::Epc(0)).is_some()); // 512 KB
-        assert!(m.try_alloc_on::<u64>(128 * 1024, Region::Epc(0)).is_none()); // would exceed
-        // The other socket's EPC and untrusted memory are unaffected.
-        assert!(m.try_alloc_on::<u64>(64 * 1024, Region::Epc(1)).is_some());
-        assert!(m.try_alloc_on::<u64>(10 << 20, Region::Untrusted(0)).is_some());
-        assert!(m.region_used(Region::Epc(0)) <= 1 << 20);
-    }
-
-    #[test]
-    #[should_panic(expected = "EPC capacity exceeded")]
-    fn epc_overflow_panics_on_infallible_alloc() {
-        let mut cfg = scaled_profile();
-        cfg.epc_per_socket = 4096;
-        let mut m = Machine::new(cfg, Setting::SgxDataInEnclave);
-        let _ = m.alloc_on::<u64>(1024, Region::Epc(0));
-    }
-
-    #[test]
-    fn transition_costs_only_in_enclave() {
-        let mut m = machine(Setting::SgxDataInEnclave);
-        m.ecall();
-        assert!(m.wall_cycles() > 0.0);
-        assert_eq!(m.counters().transitions, 2);
-        let mut m = machine(Setting::PlainCpu);
-        m.ecall();
-        assert_eq!(m.wall_cycles(), 0.0);
-        assert_eq!(m.counters().transitions, 0);
-    }
-
-    #[test]
-    fn stream_writer_charges_and_writes() {
-        let mut m = machine(Setting::PlainCpu);
-        let mut v = m.alloc::<u64>(4096);
-        m.run(|c| {
-            let mut w = v.stream_writer(0);
-            for i in 0..4096u64 {
-                w.push(c, i * 2);
-            }
-        });
-        assert!(m.wall_cycles() > 0.0);
-        assert_eq!(v.peek(17), 34);
-        assert!(m.counters().stream_lines >= 4096 * 8 / 64);
-    }
-
-    #[test]
-    fn vec_stream_charges_fewer_issues_than_scalar() {
-        let mut m = machine(Setting::PlainCpu);
-        let v = m.alloc::<u32>(1 << 16);
-        let scalar = m.run(|c| {
-            v.read_stream(c, 0..v.len(), |_, _, _| {});
-            c.busy_cycles()
-        });
-        m.flush_caches();
-        let vector = m.run(|c| {
-            v.read_stream_vec(c, 0..v.len(), |_, _, _| {});
-            c.busy_cycles()
-        });
-        assert!(vector < scalar, "vector {vector} !< scalar {scalar}");
-    }
-
-    #[test]
-    fn dependent_chains_serialize_natively_too() {
-        let mut m = machine(Setting::PlainCpu);
-        let v = m.alloc::<u64>(1 << 20);
-        let pooled = m.run(|c| {
-            let mut x = 5u64;
-            for _ in 0..10_000 {
-                x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
-                v.get(c, (x >> 33) as usize % v.len());
-            }
-            c.busy_cycles()
-        });
-        m.flush_caches();
-        let serial = m.run(|c| {
-            c.dependent(|c| {
-                let mut x = 5u64;
-                for _ in 0..10_000 {
-                    x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
-                    v.get(c, (x >> 33) as usize % v.len());
-                }
-            });
-            c.busy_cycles()
-        });
-        assert!(serial > 2.0 * pooled, "serial {serial} !> 2x pooled {pooled}");
-    }
-
-    #[test]
-    fn run_on_pins_to_socket() {
-        let mut m = Machine::new(xeon_gold_6326().scaled(16), Setting::PlainCpu);
-        let remote_core = m.cfg().cores_per_socket; // first core of socket 1
-        m.run_on(remote_core, |c| {
-            assert_eq!(c.socket(), 1);
-        });
-    }
-}
+mod tests;

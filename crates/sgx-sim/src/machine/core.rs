@@ -1,0 +1,488 @@
+//! Pipeline layer: compute/branch charges, ILP/MLP pooling, issue groups,
+//! dependency chains, phase orchestration and the per-core busy clocks —
+//! plus the [`Charge`] choke point every other layer commits through.
+//
+// sgx-lint: fault-tick-module
+
+use crate::cache::{Cache, StreamDetector};
+use crate::config::{HwConfig, SgxGeneration};
+use crate::counters::Counters;
+use crate::faults::{FaultEngine, FaultEvent, FaultProfile};
+use crate::mem::{ExecMode, RegionAlloc, Setting};
+use crate::paging::Pager;
+use crate::sync::QueueModel;
+use std::collections::BTreeSet;
+
+use super::{
+    AccessCost, Core, CoreHw, GroupAcc, Machine, PhaseStats, BRANCH_MISS_CYCLES, CTX_POISON,
+};
+
+/// One quantum of charged work, built by a layer and committed through
+/// [`Core::commit`] — the single place that advances a worker's busy
+/// clock and gives the fault engine its tick. Keeping the clock advance
+/// and the tick fused in one choke point is what lets the workspace lint
+/// prove fault coverage over the whole layered pipeline.
+pub(super) struct Charge {
+    /// Cycles to add to the worker's busy clock.
+    pub cycles: f64,
+    /// Counter bumps attributed together with the cycles.
+    pub tally: Tally,
+}
+
+/// Counter attribution carried by a [`Charge`]. Counters are plain sums,
+/// so applying the tally before the clock advance is equivalent to the
+/// historical inline order — the fault tick never reads these counters.
+pub(super) enum Tally {
+    /// Pure cycle charge; any counters were already bumped by the caller.
+    None,
+    /// `n` scalar ALU operations.
+    AluOps(u64),
+    /// `n` 512-bit vector operations.
+    VecOps(u64),
+    /// `n` enclave boundary crossings.
+    Transitions(u64),
+    /// An OCALL round trip: crossings plus transient-failure retries.
+    Ocall { transitions: u64, retries: u64 },
+    /// One EDMM page committed on first touch.
+    EdmmPage,
+    /// One SGXv1 EPC page fault.
+    EpcPageFault,
+}
+
+impl Machine {
+    /// Build a machine for one of the paper's three settings.
+    pub fn new(cfg: HwConfig, setting: Setting) -> Machine {
+        let n_regions = cfg.sockets * 2;
+        let cores = (0..cfg.total_cores())
+            .map(|_| CoreHw {
+                l1: Cache::new(&cfg.l1d),
+                l2: Cache::new(&cfg.l2),
+                streams: StreamDetector::new(),
+                tlb: vec![u64::MAX; cfg.mem.tlb_entries.max(1)],
+            })
+            .collect();
+        let l3 = (0..cfg.sockets).map(|_| Cache::new(&cfg.l3)).collect();
+        let pager = (cfg.generation == SgxGeneration::V1 && setting.mode() == ExecMode::Enclave)
+            .then(|| Pager::new(&cfg.paging));
+        Machine {
+            mode: setting.mode(),
+            setting,
+            allocs: vec![RegionAlloc::default(); n_regions],
+            cores,
+            l3,
+            counters: Counters::default(),
+            wall: 0.0,
+            sealed: false,
+            seal_watermark: vec![0; n_regions],
+            committed_pages: BTreeSet::new(),
+            pager,
+            faults: None,
+            core_clock: vec![0.0; cfg.total_cores()],
+            cfg,
+        }
+    }
+
+    /// Install a deterministic fault-injection profile (AEX storms, EPC
+    /// pressure, transient OCALL failures — see [`crate::faults`]). The
+    /// resulting fault schedule is a pure function of the profile and its
+    /// seed: replaying the same workload reproduces the identical trace,
+    /// counters, and wall time.
+    pub fn install_faults(&mut self, profile: FaultProfile) {
+        self.faults = Some(FaultEngine::new(profile, self.cfg.total_cores()));
+    }
+
+    /// Events the fault engine has applied so far, in application order
+    /// (empty without [`Machine::install_faults`]).
+    pub fn fault_trace(&self) -> &[FaultEvent] {
+        self.faults.as_ref().map_or(&[], |engine| engine.trace())
+    }
+
+    /// The hardware configuration.
+    pub fn cfg(&self) -> &HwConfig {
+        &self.cfg
+    }
+
+    /// The benchmark setting this machine models.
+    pub fn setting(&self) -> Setting {
+        self.setting
+    }
+
+    /// Execution mode (derived from the setting).
+    pub fn mode(&self) -> ExecMode {
+        self.mode
+    }
+
+    /// Accumulated wall-clock cycles over all phases so far.
+    pub fn wall_cycles(&self) -> f64 {
+        self.wall
+    }
+
+    /// Wall time in seconds at the configured clock frequency.
+    pub fn wall_secs(&self) -> f64 {
+        self.cfg.cycles_to_secs(self.wall)
+    }
+
+    /// Reset the wall clock (e.g. after untimed setup).
+    pub fn reset_wall(&mut self) {
+        self.wall = 0.0;
+    }
+
+    /// Event counters.
+    pub fn counters(&self) -> &Counters {
+        &self.counters
+    }
+
+    /// Drop all cache contents (between experiment repetitions).
+    pub fn flush_caches(&mut self) {
+        for c in &mut self.cores {
+            c.l1.flush();
+            c.l2.flush();
+            c.streams.reset();
+            c.tlb.fill(u64::MAX);
+        }
+        for l3 in &mut self.l3 {
+            l3.flush();
+        }
+    }
+
+    /// Run single-threaded code on core 0, advancing the wall clock.
+    pub fn run<R>(&mut self, f: impl FnOnce(&mut Core) -> R) -> R {
+        self.run_on(0, f)
+    }
+
+    /// Run single-threaded code on a specific core.
+    pub fn run_on<R>(&mut self, core_id: usize, f: impl FnOnce(&mut Core) -> R) -> R {
+        let mut f = Some(f);
+        let mut out = None;
+        self.parallel(&[core_id], |core| {
+            // sgx-lint: allow(panic-in-library) FnOnce-through-Option shim; parallel() calls each worker exactly once
+            let f = f.take().expect("single-core phase runs the closure once");
+            out = Some(f(core));
+        });
+        // sgx-lint: allow(panic-in-library) same invariant: the one-element core list ran exactly once
+        out.expect("single-core closure always runs")
+    }
+
+    /// Execute one parallel phase on the given hardware cores. The closure
+    /// is invoked once per worker (sequentially, in core order); wall time
+    /// advances by the regulated phase duration.
+    pub fn parallel(&mut self, cores: &[usize], mut f: impl FnMut(&mut Core)) -> PhaseStats {
+        assert!(!cores.is_empty(), "a phase needs at least one core");
+        let sockets = self.cfg.sockets;
+        let mut core_cycles = Vec::with_capacity(cores.len());
+        let mut dram_bytes = vec![0.0; sockets];
+        let mut upi_bytes = 0.0;
+        let mut faults = 0u64;
+        let mut edmm_pages = 0u64;
+        for (w, &id) in cores.iter().enumerate() {
+            assert!(id < self.cfg.total_cores(), "core id {id} out of range");
+            let mut core = Core::new(self, id);
+            core.windex = w;
+            f(&mut core);
+            core_cycles.push(core.cycles);
+            for s in 0..sockets {
+                dram_bytes[s] += core.dram_bytes[s];
+            }
+            upi_bytes += core.upi_bytes;
+            faults += core.faults;
+            let busy = core.cycles;
+            edmm_pages += core.edmm_pages;
+            self.core_clock[id] += busy;
+        }
+        self.finish_phase(core_cycles, dram_bytes, upi_bytes, faults, edmm_pages)
+    }
+
+    /// Execute a task-queue-driven phase: workers repeatedly pop tasks from
+    /// `queue` (whose cost model serializes contended critical sections)
+    /// and process them. Workers are interleaved by their local clocks, so
+    /// queue contention plays out realistically (§4.4, Fig 10).
+    pub fn parallel_tasks(
+        &mut self,
+        cores: &[usize],
+        queue: &mut dyn QueueModel,
+        n_tasks: usize,
+        mut f: impl FnMut(&mut Core, usize),
+    ) -> PhaseStats {
+        assert!(!cores.is_empty(), "a phase needs at least one core");
+        queue.reset(n_tasks);
+        let sockets = self.cfg.sockets;
+        let mut clocks = vec![0.0f64; cores.len()];
+        let mut live = vec![true; cores.len()];
+        let mut dram_bytes = vec![0.0; sockets];
+        let mut upi_bytes = 0.0;
+        let mut faults = 0u64;
+        let mut edmm_pages = 0u64;
+        let cfg = self.cfg.clone();
+        loop {
+            let Some(w) = (0..cores.len())
+                .filter(|&w| live[w])
+                .min_by(|&a, &b| clocks[a].total_cmp(&clocks[b]))
+            else {
+                break;
+            };
+            let mode = self.mode;
+            let (t, task) = queue.dequeue(clocks[w], mode, &cfg, &mut self.counters);
+            clocks[w] = t;
+            match task {
+                None => live[w] = false,
+                Some(task) => {
+                    let mut core = Core::new(self, cores[w]);
+                    core.windex = w;
+                    f(&mut core, task);
+                    clocks[w] += core.cycles;
+                    for s in 0..sockets {
+                        dram_bytes[s] += core.dram_bytes[s];
+                    }
+                    upi_bytes += core.upi_bytes;
+                    faults += core.faults;
+                    let busy = core.cycles;
+                    edmm_pages += core.edmm_pages;
+                    self.core_clock[cores[w]] += busy;
+                }
+            }
+        }
+        self.finish_phase(clocks, dram_bytes, upi_bytes, faults, edmm_pages)
+    }
+
+    fn finish_phase(
+        &mut self,
+        core_cycles: Vec<f64>,
+        dram_bytes: Vec<f64>,
+        upi_bytes: f64,
+        faults: u64,
+        edmm_pages: u64,
+    ) -> PhaseStats {
+        let busiest = core_cycles.iter().cloned().fold(0.0, f64::max);
+        let mut bound = busiest;
+        let mut bandwidth_bound = false;
+        for &bytes in &dram_bytes {
+            let cap = self.dram_cap(bytes);
+            if cap > bound {
+                bound = cap;
+                bandwidth_bound = true;
+            }
+        }
+        let upi_cap = self.upi_cap(upi_bytes);
+        if upi_cap > bound {
+            bound = upi_cap;
+            bandwidth_bound = true;
+        }
+        // SGXv1 EPC paging is globally serialized (the kernel driver's
+        // EWB/ELDU path holds a global lock), so concurrent workers cannot
+        // overlap their faults: the phase can never finish faster than the
+        // serial fault train.
+        let fault_cap = self.fault_train_cap(faults);
+        if fault_cap > bound {
+            bound = fault_cap;
+            bandwidth_bound = true;
+        }
+        // EDMM page adds serialize the same way: EAUG/EACCEPT go through
+        // the driver's global EPC page-management lock, so concurrent
+        // workers cannot overlap their enclave growth (this is what makes
+        // Fig 11's dynamically grown enclave reach only ~4.5 % of the
+        // statically sized one even with 16 threads).
+        let edmm_cap = self.edmm_train_cap(edmm_pages);
+        if edmm_cap > bound {
+            bound = edmm_cap;
+            bandwidth_bound = true;
+        }
+        self.wall += bound;
+        PhaseStats { wall_cycles: bound, core_cycles, bandwidth_bound }
+    }
+}
+
+impl Drop for Machine {
+    /// Fold this machine's counter totals into the thread-local session
+    /// accumulator (see [`crate::counters::session_take`]), so the figure
+    /// harness can attribute counters per job without plumbing a
+    /// collector through every experiment.
+    fn drop(&mut self) {
+        crate::counters::session_absorb(&self.counters);
+    }
+}
+
+impl<'m> Core<'m> {
+    fn new(m: &'m mut Machine, id: usize) -> Core<'m> {
+        let socket = m.cfg.socket_of_core(id);
+        let sockets = m.cfg.sockets;
+        Core {
+            m,
+            id,
+            socket,
+            cycles: 0.0,
+            dram_bytes: vec![0.0; sockets],
+            upi_bytes: 0.0,
+            group: None,
+            dependent_depth: 0,
+            windex: 0,
+            faults: 0,
+            edmm_pages: 0,
+            last_rand_addr: CTX_POISON,
+        }
+    }
+
+    /// Apply a [`Charge`]: attribute its counters, advance this worker's
+    /// busy clock, and give the fault engine its tick. Every layer's
+    /// cycle charge funnels through here (the only other clock advance is
+    /// `fault_tick_slow`, the fault engine's own exempt path).
+    #[inline]
+    pub(super) fn commit(&mut self, charge: Charge) {
+        match charge.tally {
+            Tally::None => {}
+            Tally::AluOps(n) => self.m.counters.alu_ops += n,
+            Tally::VecOps(n) => self.m.counters.vec_ops += n,
+            Tally::Transitions(n) => self.m.counters.transitions += n,
+            Tally::Ocall { transitions, retries } => {
+                self.m.counters.transitions += transitions;
+                self.m.counters.ocall_retries += retries;
+            }
+            Tally::EdmmPage => self.m.counters.edmm_pages += 1,
+            Tally::EpcPageFault => self.m.counters.epc_page_faults += 1,
+        }
+        self.cycles += charge.cycles;
+        self.fault_tick();
+    }
+
+    /// Hardware core id this worker is pinned to.
+    pub fn id(&self) -> usize {
+        self.id
+    }
+
+    /// Index of this worker within the phase's core list (0-based), for
+    /// indexing per-worker scratch structures.
+    pub fn worker(&self) -> usize {
+        self.windex
+    }
+
+    /// Socket (NUMA node) of this core.
+    pub fn socket(&self) -> usize {
+        self.socket
+    }
+
+    /// Execution mode of the machine.
+    pub fn mode(&self) -> ExecMode {
+        self.m.mode
+    }
+
+    /// Cycles this worker has accumulated in the current phase.
+    pub fn busy_cycles(&self) -> f64 {
+        self.cycles
+    }
+
+    /// Charge `n` scalar ALU operations.
+    #[inline]
+    pub fn compute(&mut self, n: u64) {
+        self.commit(Charge {
+            cycles: n as f64 * self.m.cfg.pipeline.cycles_per_op,
+            tally: Tally::AluOps(n),
+        });
+    }
+
+    /// Charge `n` 512-bit vector operations.
+    #[inline]
+    pub fn vec_compute(&mut self, n: u64) {
+        self.commit(Charge {
+            cycles: n as f64 * self.m.cfg.pipeline.cycles_per_vec_op,
+            tally: Tally::VecOps(n),
+        });
+    }
+
+    /// Charge raw cycles (e.g. a modelled library call).
+    #[inline]
+    pub fn charge(&mut self, cycles: f64) {
+        self.commit(Charge { cycles, tally: Tally::None });
+    }
+
+    /// Charge the expected cost of a data-dependent branch that the
+    /// predictor misses with probability `miss_prob` (e.g. CrkJoin's
+    /// two-pointer comparison on a random key bit: 0.5).
+    #[inline]
+    pub fn branch(&mut self, miss_prob: f64) {
+        self.commit(Charge {
+            cycles: miss_prob.clamp(0.0, 1.0) * BRANCH_MISS_CYCLES,
+            tally: Tally::None,
+        });
+    }
+
+    /// Open an explicit issue group: all accesses inside `f` are declared
+    /// independent of one another (the paper's Listing 2 manual unroll —
+    /// compute N indexes first, then issue N memory operations). Native
+    /// mode is insensitive to grouping; enclave mode only overlaps
+    /// *within* a group.
+    pub fn group<R>(&mut self, f: impl FnOnce(&mut Core) -> R) -> R {
+        assert!(self.group.is_none(), "issue groups do not nest");
+        self.group = Some(GroupAcc::default());
+        let r = f(self);
+        // sgx-lint: allow(panic-in-library) set to Some two lines above; groups cannot nest (asserted on entry)
+        let g = self.group.take().expect("group still open");
+        self.close_group(g);
+        r
+    }
+
+    /// Mark the accesses inside `f` as a serial dependency chain (pointer
+    /// chasing): each access waits for the full latency of the previous
+    /// one, in both modes.
+    pub fn dependent<R>(&mut self, f: impl FnOnce(&mut Core) -> R) -> R {
+        self.dependent_depth += 1;
+        let r = f(self);
+        self.dependent_depth -= 1;
+        r
+    }
+
+    fn close_group(&mut self, g: GroupAcc) {
+        if g.count == 0 {
+            return;
+        }
+        let p = self.m.cfg.pipeline;
+        let mem = self.m.cfg.mem;
+        let cost = match self.m.mode {
+            ExecMode::Native => {
+                (g.near_sum / p.ilp_native).max(g.far_sum / mem.mlp_native)
+            }
+            ExecMode::Enclave => {
+                self.m.counters.enclave_groups += 1;
+                let near = g.near_max + (g.near_sum - g.near_max) / p.ilp_enclave_group;
+                near.max(g.far_sum / mem.mlp_enclave) + p.enclave_group_overhead
+            }
+        };
+        self.commit(Charge { cycles: cost, tally: Tally::None });
+    }
+
+    /// Commit a resolved access cost to the pipeline model.
+    pub(super) fn post(&mut self, c: AccessCost) {
+        if self.dependent_depth > 0 {
+            // Serial dependency chain: no overlap in either mode. No extra
+            // enclave overhead — the paper's in-cache pointer chase runs at
+            // parity (Fig 5), and on DRAM chases the MEE fill latency in
+            // `far` already carries the whole penalty.
+            self.commit(Charge { cycles: c.near + c.far, tally: Tally::None });
+            return;
+        }
+        if let Some(g) = &mut self.group {
+            g.near_sum += c.near;
+            g.near_max = g.near_max.max(c.near);
+            g.far_sum += c.far;
+            g.count += 1;
+            return;
+        }
+        let p = self.m.cfg.pipeline;
+        let mem = self.m.cfg.mem;
+        let cost = match self.m.mode {
+            ExecMode::Native => (c.near / p.ilp_native).max(c.far / mem.mlp_native),
+            ExecMode::Enclave => {
+                if c.serial_load {
+                    // The §4.2 restriction: ungrouped loads do not overlap
+                    // across iterations in enclave mode.
+                    c.near + mem.enclave_serial_far_fraction * c.far + p.enclave_group_overhead
+                } else {
+                    // Pooled path: never overlaps *better* than native
+                    // (`ilp_enclave_group` only applies within explicit
+                    // issue groups).
+                    (c.near / p.ilp_native.min(p.ilp_enclave_group))
+                        .max(c.far / mem.mlp_enclave)
+                }
+            }
+        };
+        self.commit(Charge { cycles: cost, tally: Tally::None });
+    }
+}

@@ -1,0 +1,257 @@
+//! Hierarchy layer: the L1/L2/L3 walk, TLB, installs/spills/write-backs,
+//! and the per-socket DRAM bandwidth cap.
+//
+// sgx-lint: fault-tick-module
+
+use crate::cache::Evicted;
+use crate::config::{CACHE_LINE, PAGE_SIZE};
+use crate::mem::{ExecMode, Region};
+
+use super::core::{Charge, Tally};
+use super::{
+    AccessCost, AccessKind, Core, Machine, L1_STREAM_LINE, L2_STREAM_LINE, L3_STREAM_LINE,
+    PREFETCHED_NEAR,
+};
+
+/// Cache level an access hit in (DRAM fills return early).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum HitLevel {
+    L1,
+    L2,
+    L3,
+}
+
+impl Machine {
+    /// Cycles the per-socket DRAM bus needs to move `bytes` — the
+    /// shared-resource floor `finish_phase` regulates against.
+    pub(super) fn dram_cap(&self, bytes: f64) -> f64 {
+        bytes * self.cfg.mem.socket_bw_cycles_per_byte
+    }
+}
+
+impl<'m> Core<'m> {
+    /// Walk the cache hierarchy for one line; fills caches and accounts
+    /// bandwidth. `stream` forces the prefetched-fill cost (explicit
+    /// sequential APIs).
+    pub(super) fn resolve_line(&mut self, line: u64, kind: AccessKind, stream: bool) -> AccessCost {
+        let write = kind != AccessKind::Load;
+        let addr = line * CACHE_LINE as u64;
+        let region = Region::of_addr(addr);
+        self.pre_touch(addr, region);
+        let walk = self.tlb_walk(addr);
+
+        let cfg = &self.m.cfg;
+        let (l1_lat, l2_lat, l3_lat) = (cfg.l1d.latency, cfg.l2.latency, cfg.l3.latency);
+        let hw = &mut self.m.cores[self.id];
+        let level;
+        if hw.l1.access(line, write) {
+            self.m.counters.l1_hits += 1;
+            level = HitLevel::L1;
+        } else if hw.l2.access(line, write) {
+            self.m.counters.l2_hits += 1;
+            level = HitLevel::L2;
+            self.install_l1(line, write);
+        } else if self.m.l3[self.socket].access(line, write) {
+            self.m.counters.l3_hits += 1;
+            level = HitLevel::L3;
+            self.install_l1(line, write);
+        } else {
+            // DRAM fill.
+            self.m.counters.dram_fills += 1;
+            let prefetched = stream || self.m.cores[self.id].streams.observe(line);
+            if prefetched {
+                self.m.counters.prefetched_fills += 1;
+            }
+            let remote = region.node() != self.socket;
+            if remote {
+                self.remote_fill();
+            }
+            let enc = region.is_epc() && self.m.mode == ExecMode::Enclave;
+            if enc {
+                self.m.counters.epc_fills += 1;
+            }
+            self.dram_bytes[region.node()] += self.line_bus_bytes(enc, false);
+            // Install bottom-up so evictions cascade.
+            self.install_l3(line, write);
+            self.install_l1(line, write);
+            let cfg = &self.m.cfg;
+            let cost = if prefetched {
+                let mut per_line = cfg.mem.stream_line_cycles;
+                if remote {
+                    per_line += cfg.upi.remote_stream_extra;
+                    if enc {
+                        per_line += cfg.upi.uce_stream_extra;
+                    }
+                }
+                if enc {
+                    per_line *= if write {
+                        cfg.mem.mee_stream_write_factor
+                    } else {
+                        cfg.mem.mee_stream_factor
+                    };
+                }
+                if write {
+                    per_line += cfg.mem.writeback_line_cycles;
+                    // Write-allocate: the eventual write-back consumes
+                    // bandwidth too.
+                    self.dram_bytes[region.node()] += self.line_bus_bytes(enc, true);
+                    if remote {
+                        self.upi_line();
+                    }
+                }
+                return AccessCost { near: PREFETCHED_NEAR, far: per_line + walk, serial_load: false };
+            } else {
+                let mut far = cfg.mem.dram_latency - cfg.l3.latency + walk;
+                if remote {
+                    far += cfg.upi.remote_latency;
+                }
+                if enc {
+                    far += cfg.mem.mee_fill_latency;
+                    if remote {
+                        far += cfg.upi.uce_latency;
+                    }
+                    if write {
+                        far += cfg.mem.mee_write_penalty;
+                    }
+                }
+                AccessCost { near: cfg.l3.latency, far, serial_load: kind == AccessKind::Rmw }
+            };
+            return cost;
+        }
+        let near = match level {
+            HitLevel::L1 => l1_lat,
+            HitLevel::L2 => l2_lat,
+            HitLevel::L3 => l3_lat,
+        };
+        AccessCost { near, far: walk, serial_load: kind == AccessKind::Rmw }
+    }
+
+    /// Per-line cost of a stream access through the hierarchy; the flag
+    /// reports whether the line came from DRAM.
+    pub(super) fn resolve_stream_line(&mut self, line: u64, kind: AccessKind) -> (f64, bool) {
+        let write = kind != AccessKind::Load;
+        let addr = line * CACHE_LINE as u64;
+        let region = Region::of_addr(addr);
+        self.pre_touch(addr, region);
+        // Page walks on stream paths overlap well (one per 64 lines);
+        // charge them pooled like the rest of the line cost.
+        let walk = self.tlb_walk(addr) / self.m.cfg.mem.mlp_native;
+        let hw = &mut self.m.cores[self.id];
+        if hw.l1.access(line, write) {
+            self.m.counters.l1_hits += 1;
+            return (L1_STREAM_LINE + walk, false);
+        }
+        if hw.l2.access(line, write) {
+            self.m.counters.l2_hits += 1;
+            self.install_l1(line, write);
+            return (L2_STREAM_LINE + walk, false);
+        }
+        if self.m.l3[self.socket].access(line, write) {
+            self.m.counters.l3_hits += 1;
+            self.install_l1(line, write);
+            return (L3_STREAM_LINE + walk, false);
+        }
+        self.m.counters.dram_fills += 1;
+        self.m.counters.prefetched_fills += 1;
+        let remote = region.node() != self.socket;
+        let enc = region.is_epc() && self.m.mode == ExecMode::Enclave;
+        if enc {
+            self.m.counters.epc_fills += 1;
+        }
+        self.dram_bytes[region.node()] += self.line_bus_bytes(enc, false);
+        if remote {
+            self.remote_fill();
+        }
+        self.install_l3(line, write);
+        self.install_l1(line, write);
+        let cfg = &self.m.cfg;
+        let mut per_line = cfg.mem.stream_line_cycles;
+        if remote {
+            per_line += cfg.upi.remote_stream_extra;
+            if enc {
+                per_line += cfg.upi.uce_stream_extra;
+            }
+        }
+        if enc {
+            per_line *= if write {
+                cfg.mem.mee_stream_write_factor
+            } else {
+                cfg.mem.mee_stream_factor
+            };
+        }
+        if write {
+            per_line += cfg.mem.writeback_line_cycles;
+            self.dram_bytes[region.node()] += self.line_bus_bytes(enc, true);
+            if remote {
+                self.upi_line();
+            }
+        }
+        (per_line + walk, true)
+    }
+
+    /// Probe the per-core TLB for `addr`'s page; returns the page-walk
+    /// cycles (0 on a hit). Walks are pooled with the far/DRAM portion of
+    /// the access (they overlap with other outstanding misses).
+    #[inline]
+    pub(super) fn tlb_walk(&mut self, addr: u64) -> f64 {
+        let page = addr / PAGE_SIZE as u64;
+        let hw = &mut self.m.cores[self.id];
+        let slot = (page as usize) % hw.tlb.len();
+        if hw.tlb[slot] == page {
+            0.0
+        } else {
+            hw.tlb[slot] = page;
+            self.m.counters.tlb_misses += 1;
+            self.m.cfg.mem.tlb_walk_cycles
+        }
+    }
+
+    fn install_l1(&mut self, line: u64, dirty: bool) {
+        let hw = &mut self.m.cores[self.id];
+        if let Evicted::Dirty(v) = hw.l1.insert(line, dirty) {
+            self.spill_l2(v);
+        }
+    }
+
+    fn spill_l2(&mut self, victim: u64) {
+        let hw = &mut self.m.cores[self.id];
+        if let Evicted::Dirty(v) = hw.l2.insert(victim, true) {
+            self.spill_l3(v);
+        }
+    }
+
+    fn install_l3(&mut self, line: u64, dirty: bool) {
+        let hw = &mut self.m.cores[self.id];
+        if let Evicted::Dirty(v) = hw.l2.insert(line, dirty) {
+            if let Evicted::Dirty(v2) = self.m.l3[self.socket].insert(v, true) {
+                self.writeback(v2);
+            }
+        }
+        if let Evicted::Dirty(v) = self.m.l3[self.socket].insert(line, dirty) {
+            self.writeback(v);
+        }
+    }
+
+    fn spill_l3(&mut self, victim: u64) {
+        if let Evicted::Dirty(v) = self.m.l3[self.socket].insert(victim, true) {
+            self.writeback(v);
+        }
+    }
+
+    /// Account a dirty L3 eviction: write-back bandwidth plus a small
+    /// latency share folded into the evicting access.
+    fn writeback(&mut self, line: u64) {
+        self.m.counters.writebacks += 1;
+        let region = Region::of_addr(line * CACHE_LINE as u64);
+        let enc = region.is_epc() && self.m.mode == ExecMode::Enclave;
+        self.dram_bytes[region.node()] += self.line_bus_bytes(enc, true);
+        if region.node() != self.socket {
+            self.upi_line();
+        }
+        self.commit(Charge {
+            cycles: self.m.cfg.mem.writeback_line_cycles
+                / self.m.cfg.mem.mlp_native.max(1.0),
+            tally: Tally::None,
+        });
+    }
+}

@@ -1,0 +1,153 @@
+//! Transition layer: ECALL/OCALL round trips, enclave boundary
+//! crossings, and asynchronous exit (AEX) delivery — the fault tick
+//! itself lives here, at the boundary where interrupts strike.
+//
+// sgx-lint: fault-tick-module
+
+use crate::faults::ocall_cost;
+use crate::mem::ExecMode;
+use crate::paging::Pager;
+
+use super::core::{Charge, Tally};
+use super::{Core, Machine};
+
+impl Machine {
+    /// Charge an enclave entry/exit pair to the wall clock (no-op in native
+    /// mode), e.g. the ECALL that launches a query.
+    pub fn ecall(&mut self) {
+        if self.mode == ExecMode::Enclave {
+            self.wall += 2.0 * self.cfg.transitions.transition_cycles;
+            self.counters.transitions += 2;
+        }
+    }
+
+    /// Perform one OCALL round trip on the wall clock: the exit/re-entry
+    /// pair, plus deterministic transient-failure retries with bounded
+    /// exponential backoff (in simulated cycles) when an OCALL fault
+    /// profile is installed. Returns the number of retries, also summed
+    /// into `Counters::ocall_retries`. Native mode is a plain host call:
+    /// free and infallible here.
+    pub fn ocall(&mut self) -> u32 {
+        if self.mode != ExecMode::Enclave {
+            return 0;
+        }
+        let retries = match &mut self.faults {
+            Some(engine) => engine.plan_ocall(self.wall),
+            None => 0,
+        };
+        let backoff = self
+            .faults
+            .as_ref()
+            .and_then(|engine| engine.profile().ocall)
+            .map_or(0.0, |o| o.backoff_cycles);
+        self.wall += ocall_cost(retries, self.cfg.transitions.transition_cycles, backoff);
+        self.counters.transitions += 2 * (1 + retries as u64);
+        self.counters.ocall_retries += retries as u64;
+        retries
+    }
+}
+
+impl<'m> Core<'m> {
+    /// Perform one OCALL round trip from this core, charging the worker's
+    /// cycle clock instead of the machine wall clock; otherwise identical
+    /// to [`Machine::ocall`] (deterministic transient failures, bounded
+    /// backoff, `ocall_retries` accounting).
+    pub fn ocall(&mut self) -> u32 {
+        if self.m.mode != ExecMode::Enclave {
+            return 0;
+        }
+        let at = self.m.core_clock[self.id] + self.cycles;
+        let retries = match &mut self.m.faults {
+            Some(engine) => engine.plan_ocall(at),
+            None => 0,
+        };
+        let backoff = self
+            .m
+            .faults
+            .as_ref()
+            .and_then(|engine| engine.profile().ocall)
+            .map_or(0.0, |o| o.backoff_cycles);
+        self.commit(Charge {
+            cycles: ocall_cost(retries, self.m.cfg.transitions.transition_cycles, backoff),
+            tally: Tally::Ocall {
+                transitions: 2 * (1 + retries as u64),
+                retries: retries as u64,
+            },
+        });
+        retries
+    }
+
+    /// Charge one enclave boundary crossing (no-op natively).
+    pub fn transition(&mut self) {
+        if self.m.mode == ExecMode::Enclave {
+            self.commit(Charge {
+                cycles: self.m.cfg.transitions.transition_cycles,
+                tally: Tally::Transitions(1),
+            });
+        }
+    }
+
+    /// Fault-injection hook, called after every cycle-advancing charge:
+    /// delivers asynchronous interrupts that came due on this core and
+    /// inflates the EPC pressure balloon once its threshold is crossed. A
+    /// machine without faults installed pays a single branch.
+    #[inline]
+    pub(super) fn fault_tick(&mut self) {
+        if self.m.faults.is_some() {
+            self.fault_tick_slow();
+        }
+    }
+
+    #[cold]
+    fn fault_tick_slow(&mut self) {
+        let base = self.m.core_clock[self.id];
+        // EPC pressure: once the balloon inflates, every touch beyond the
+        // shrunken residency pages through the SGXv1-style pager
+        // (`pre_touch`), and `finish_phase` serializes the fault train.
+        if self.m.mode == ExecMode::Enclave && self.m.pager.is_none() {
+            let clock = base + self.cycles;
+            let resident = self.m.faults.as_mut().and_then(|engine| engine.poll_balloon(clock));
+            if let Some(resident_bytes) = resident {
+                let mut paging = self.m.cfg.paging;
+                paging.resident_bytes = resident_bytes;
+                self.m.pager = Some(Pager::new(&paging));
+            }
+        }
+        // Interrupt delivery. Interrupts stay masked while one is serviced
+        // (the next event is scheduled from the post-handler clock), so a
+        // storm whose handler outlasts the mean interval cannot livelock.
+        loop {
+            let clock = base + self.cycles;
+            let due = self
+                .m
+                .faults
+                .as_ref()
+                .is_some_and(|engine| engine.interrupt_due(self.id, clock));
+            if !due {
+                return;
+            }
+            let cost = match self.m.mode {
+                ExecMode::Enclave => {
+                    // An AEX: scrub state, exit, kernel handler, ERESUME —
+                    // a full enclave round trip — and the core resumes with
+                    // cold L1/TLB/stream state, so the refill cost emerges
+                    // organically from the cache model.
+                    self.m.counters.aex_events += 1;
+                    self.m.counters.transitions += 2;
+                    let hw = &mut self.m.cores[self.id];
+                    hw.l1.flush();
+                    hw.streams.reset();
+                    hw.tlb.fill(u64::MAX);
+                    2.0 * self.m.cfg.transitions.transition_cycles
+                }
+                // A native interrupt is just a kernel round trip: no
+                // enclave state to scrub, no TLB flush.
+                ExecMode::Native => self.m.cfg.interrupts.native_interrupt_cycles,
+            };
+            self.cycles += cost;
+            if let Some(engine) = self.m.faults.as_mut() {
+                engine.interrupt_fired(self.id, clock, base + self.cycles);
+            }
+        }
+    }
+}
