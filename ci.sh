@@ -112,6 +112,43 @@ for f in "$FIG_TMP"/jobs1/*.json "$FIG_TMP"/jobs1/*.svg; do
 done
 rm -rf "$FIG_TMP"
 
+echo "== ci: profile determinism (--profile off by default, byte-identical across --jobs)"
+PROF_TMP=$(mktemp -d)
+rm -f target/figures/*.profile.json target/figures/*.profile.svg
+"$BIN" --scale 256 --reps 1 --jobs 1 >/dev/null
+if ls target/figures/*.profile.json >/dev/null 2>&1; then
+    echo "ci: FAIL — profiles must not be emitted without --profile" >&2
+    exit 1
+fi
+mkdir -p "$PROF_TMP/plain"
+cp target/figures/*.json "$PROF_TMP/plain/"
+"$BIN" --scale 256 --reps 1 --jobs 1 --profile >/dev/null
+if ! ls target/figures/*.profile.json >/dev/null 2>&1; then
+    echo "ci: FAIL — --profile must emit at least one profile.json" >&2
+    exit 1
+fi
+mkdir -p "$PROF_TMP/jobs1"
+cp target/figures/*.json target/figures/*.svg "$PROF_TMP/jobs1/"
+for f in "$PROF_TMP"/plain/*.json; do
+    name=$(basename "$f")
+    case "$name" in manifest*) continue ;; esac
+    if ! cmp -s "$f" "target/figures/$name"; then
+        echo "ci: FAIL — --profile perturbed figure output $name" >&2
+        exit 1
+    fi
+done
+"$BIN" --scale 256 --reps 1 --jobs 2 --profile >/dev/null
+for f in "$PROF_TMP"/jobs1/*.json "$PROF_TMP"/jobs1/*.svg; do
+    name=$(basename "$f")
+    case "$name" in manifest*) continue ;; esac
+    if ! cmp -s "$f" "target/figures/$name"; then
+        echo "ci: FAIL — $name differs between --profile --jobs 1 and --jobs 2" >&2
+        exit 1
+    fi
+done
+rm -rf "$PROF_TMP"
+rm -f target/figures/*.profile.json target/figures/*.profile.svg
+
 echo "== ci: all_figures negative check (injected failure)"
 rm -f target/figures/fig05.json
 if ALL_FIGURES_FAIL=fig07 "$BIN" --only fig05,fig07 --scale 256 --reps 1 >/dev/null 2>&1; then

@@ -19,6 +19,8 @@
 //!   `--only id[,id...]`                   run only the named jobs
 //!   `--skip id[,id...]`                   exclude the named jobs
 //!   `--retry-failed`                      `--only` = failed ids of the last manifest
+//!   `--profile`                           collect per-phase cycle attribution and
+//!                                         write `<id>.profile.json` / `.profile.svg`
 //!   `--list`                              print registered job ids and exit
 //!   `--normalize-manifest FILE`           print FILE with seconds zeroed and exit
 //!                                         (for determinism byte-diffs)
@@ -41,6 +43,7 @@ struct HarnessArgs {
     jobs: usize,
     list: bool,
     retry_failed: bool,
+    profile: bool,
     normalize: Option<String>,
     rest: Vec<String>,
 }
@@ -51,6 +54,7 @@ fn parse_harness_args(args: impl IntoIterator<Item = String>) -> Result<HarnessA
         jobs: default_jobs(),
         list: false,
         retry_failed: false,
+        profile: false,
         normalize: None,
         rest: Vec::new(),
     };
@@ -82,6 +86,7 @@ fn parse_harness_args(args: impl IntoIterator<Item = String>) -> Result<HarnessA
             }
             "--list" => parsed.list = true,
             "--retry-failed" => parsed.retry_failed = true,
+            "--profile" => parsed.profile = true,
             _ => parsed.rest.push(arg),
         }
     }
@@ -156,6 +161,7 @@ fn main() -> ExitCode {
     let cfg = RunConfig {
         jobs: args.jobs,
         filter: args.filter,
+        profile: args.profile,
         // Deterministic failure hook for the CI negative test.
         fail_injection: std::env::var("ALL_FIGURES_FAIL").ok(),
     };
@@ -166,6 +172,9 @@ fn main() -> ExitCode {
     for outcome in &outcomes {
         for figure in &outcome.figures {
             figure.emit();
+        }
+        if let Some(p) = &outcome.profile {
+            sgx_bench_core::report::emit_profile(&outcome.id, p);
         }
     }
 

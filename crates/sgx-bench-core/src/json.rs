@@ -142,7 +142,13 @@ fn write_number(out: &mut String, n: f64) {
         // JSON has no Inf/NaN; figures never produce them, but stay total.
         out.push_str("null");
     } else if n == n.trunc() && n.abs() < 1e15 {
-        let _ = write!(out, "{}.0", n.trunc() as i64);
+        // The `as i64` cast drops the sign of -0.0; restore it so the
+        // printed text parses back to the same bit pattern.
+        if n == 0.0 && n.is_sign_negative() {
+            out.push_str("-0.0");
+        } else {
+            let _ = write!(out, "{}.0", n.trunc() as i64);
+        }
     } else {
         let _ = write!(out, "{n}");
     }

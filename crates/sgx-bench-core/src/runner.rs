@@ -103,6 +103,9 @@ pub struct JobOutcome {
     pub figures: Vec<Figure>,
     /// Counter totals of every `Machine` the job created.
     pub counters: Counters,
+    /// Cycle-attribution profile of the job (`Some` only when
+    /// [`RunConfig::profile`] was set; `None` for skipped jobs).
+    pub profile: Option<sgx_sim::Profile>,
 }
 
 impl JobOutcome {
@@ -114,6 +117,7 @@ impl JobOutcome {
             error: None,
             figures: Vec::new(),
             counters: Counters::default(),
+            profile: None,
         }
     }
 }
@@ -129,6 +133,10 @@ pub struct RunConfig {
     /// Deterministic failure hook: the job with this id panics before its
     /// experiment runs (the CI negative test sets `ALL_FIGURES_FAIL`).
     pub fail_injection: Option<String>,
+    /// Collect a per-job cycle-attribution profile (see
+    /// [`sgx_sim::profile`]). Off by default; the figures themselves are
+    /// byte-identical either way.
+    pub profile: bool,
 }
 
 /// Default worker count: one per available core.
@@ -146,9 +154,14 @@ pub fn default_jobs() -> usize {
 /// isolated with `catch_unwind` and recorded as [`JobStatus::Failed`].
 ///
 /// The calling thread participates as a worker (and is the only worker
-/// for `jobs <= 1`); note this drains the caller's thread-local counter
-/// session (see `sgx_sim::counters::session_take`).
+/// for `jobs <= 1`). The caller's own thread-local measurement state —
+/// counter session, profile session, and profiling flag — is saved on
+/// entry and restored on exit, so an open outer measurement session
+/// survives a registry run intact.
 pub fn run_registry(registry: &[FigureJob], profile: &BenchProfile, cfg: &RunConfig) -> Vec<JobOutcome> {
+    let saved_counters = sgx_sim::counters::session_take();
+    let saved_profile = sgx_sim::profile::session_take();
+    let saved_enabled = sgx_sim::profile::enabled();
     let selected: Vec<usize> =
         (0..registry.len()).filter(|&i| cfg.filter.selects(registry[i].id)).collect();
     let workers = cfg.jobs.max(1).min(selected.len().max(1));
@@ -188,6 +201,12 @@ pub fn run_registry(registry: &[FigureJob], profile: &BenchProfile, cfg: &RunCon
             }
         }
     });
+    // Restore the caller's measurement state: every job drained the
+    // session of the thread it ran on (including this one), so absorbing
+    // the saved sessions back reinstates them exactly.
+    sgx_sim::profile::set_enabled(saved_enabled);
+    sgx_sim::profile::session_absorb(&saved_profile);
+    sgx_sim::counters::session_absorb(&saved_counters);
     registry
         .iter()
         .zip(done.iter_mut())
@@ -200,9 +219,12 @@ pub fn run_registry(registry: &[FigureJob], profile: &BenchProfile, cfg: &RunCon
 fn run_one(job: &FigureJob, profile: &BenchProfile, cfg: &RunConfig) -> JobOutcome {
     eprintln!("[{}] running...", job.id);
     let started = WallClock::now();
-    // Reset the session accumulator so earlier machines dropped on this
-    // thread are not attributed to this job.
+    // Reset the session accumulators so earlier machines dropped on this
+    // thread are not attributed to this job, and arm (or disarm) cycle
+    // attribution for the machines this job builds.
     sgx_sim::counters::session_take();
+    sgx_sim::profile::session_take();
+    sgx_sim::profile::set_enabled(cfg.profile);
     let run = job.run;
     let inject = cfg.fail_injection.as_deref() == Some(job.id);
     let outcome = panic::catch_unwind(AssertUnwindSafe(|| {
@@ -213,8 +235,10 @@ fn run_one(job: &FigureJob, profile: &BenchProfile, cfg: &RunConfig) -> JobOutco
         run(profile)
     }));
     // Machines are dropped during the job (or during unwind), so the
-    // session now holds exactly this job's totals.
+    // sessions now hold exactly this job's totals.
     let counters = sgx_sim::counters::session_take();
+    let prof = cfg.profile.then(sgx_sim::profile::session_take);
+    sgx_sim::profile::set_enabled(false);
     let seconds = started.elapsed().as_secs_f64();
     match outcome {
         Ok(figures) => {
@@ -226,6 +250,7 @@ fn run_one(job: &FigureJob, profile: &BenchProfile, cfg: &RunConfig) -> JobOutco
                 error: None,
                 figures,
                 counters,
+                profile: prof,
             }
         }
         Err(cause) => {
@@ -244,6 +269,7 @@ fn run_one(job: &FigureJob, profile: &BenchProfile, cfg: &RunConfig) -> JobOutco
                 error: Some(message),
                 figures: Vec::new(),
                 counters,
+                profile: prof,
             }
         }
     }
@@ -506,7 +532,7 @@ mod tests {
     #[test]
     fn scheduler_commits_in_registry_order_with_isolation() {
         let reg = test_registry();
-        let cfg = RunConfig { jobs: 2, filter: JobFilter::default(), fail_injection: None };
+        let cfg = RunConfig { jobs: 2, ..RunConfig::default() };
         let out = run_registry(&reg, &BenchProfile::tiny(), &cfg);
         assert_eq!(out.len(), 3);
         assert_eq!(out[0].id, "alpha");
@@ -528,7 +554,7 @@ mod tests {
         let runs: Vec<Vec<String>> = [1usize, 2, 8]
             .iter()
             .map(|&jobs| {
-                let cfg = RunConfig { jobs, filter: JobFilter::default(), fail_injection: None };
+                let cfg = RunConfig { jobs, ..RunConfig::default() };
                 outcome_fingerprint(&run_registry(&reg, &profile, &cfg))
             })
             .collect();
@@ -544,6 +570,7 @@ mod tests {
             jobs: 4,
             filter: JobFilter { only: vec!["alpha".into(), "omega".into()], skip: vec![] },
             fail_injection: Some("omega".into()),
+            profile: false,
         };
         let out = run_registry(&reg, &profile, &cfg);
         assert_eq!(out[0].status, JobStatus::Ok);
@@ -555,6 +582,57 @@ mod tests {
         assert_eq!(m.count(JobStatus::Ok), 1);
         assert_eq!(m.count(JobStatus::Skipped), 1);
         assert_eq!(m.failed_ids(), vec!["omega".to_string()]);
+    }
+
+    #[test]
+    fn run_registry_preserves_callers_open_sessions() {
+        // Regression test: run_registry used to drain the calling thread's
+        // session accumulators (every job resets them), silently losing an
+        // outer measurement in progress.
+        let _ = sgx_sim::counters::session_take();
+        sgx_sim::profile::set_enabled(true);
+        let _ = sgx_sim::profile::session_take();
+        {
+            let mut m = Machine::new(BenchProfile::tiny().hw.clone(), Setting::SgxDataInEnclave);
+            let _scope = m.phase("outer");
+            m.run(|c| c.compute(7));
+        }
+        let reg = test_registry();
+        let cfg = RunConfig {
+            jobs: 2,
+            filter: JobFilter { only: vec!["alpha".into()], skip: vec![] },
+            ..RunConfig::default()
+        };
+        let out = run_registry(&reg, &BenchProfile::tiny(), &cfg);
+        assert_eq!(out[0].counters.alu_ops, 1000, "the job still measures its own work");
+        assert!(sgx_sim::profile::enabled(), "caller's profiling flag must be restored");
+        sgx_sim::profile::set_enabled(false);
+        let outer = sgx_sim::counters::session_take();
+        assert_eq!(outer.alu_ops, 7, "caller's counter session must survive run_registry");
+        let outer_prof = sgx_sim::profile::session_take();
+        assert_eq!(outer_prof.total_counters().alu_ops, 7);
+        assert!(outer_prof.phases.contains_key("outer"));
+    }
+
+    #[test]
+    fn scheduler_collects_profiles_only_when_asked() {
+        let reg = test_registry();
+        let profile = BenchProfile::tiny();
+        let off = run_registry(&reg, &profile, &RunConfig { jobs: 1, ..RunConfig::default() });
+        assert!(off.iter().all(|o| o.profile.is_none()));
+        let cfg = RunConfig { jobs: 1, profile: true, ..RunConfig::default() };
+        let on = run_registry(&reg, &profile, &cfg);
+        let p = on[0].profile.as_ref().expect("profiled job carries a profile");
+        assert_eq!(p.total_counters().alu_ops, on[0].counters.alu_ops);
+        assert!(!sgx_sim::profile::enabled(), "profiling flag must not leak out");
+        // Profiles are jobs-invariant like everything else.
+        let cfg2 = RunConfig { jobs: 8, profile: true, ..RunConfig::default() };
+        let on2 = run_registry(&reg, &profile, &cfg2);
+        assert_eq!(
+            format!("{:?}", on[0].profile),
+            format!("{:?}", on2[0].profile),
+            "profiles must be identical across --jobs values"
+        );
     }
 
     #[test]

@@ -64,6 +64,7 @@ pub fn pht_join(
     // Clearing the bucket array must complete on all workers before any
     // insert lands in a foreign worker's share, so it is its own barrier
     // phase (as in the original implementation).
+    let build_scope = machine.phase("build");
     let init = machine.parallel(&cfg.cores, |c| {
         let w = c.worker();
         charged_fill(c, &mut heads, chunk_range(nbuckets, t, w), EMPTY);
@@ -120,6 +121,8 @@ pub fn pht_join(
     });
 
     // ------------------------------------------------------------- probe
+    drop(build_scope);
+    let probe_scope = machine.phase("probe");
     let mut matches = 0u64;
     let mut checksum = 0u64;
     let mut overflow = false;
@@ -192,6 +195,7 @@ pub fn pht_join(
         }
     });
     assert!(!overflow, "PHT materialization overflowed a worker range (non-FK duplicates?)");
+    drop(probe_scope);
 
     JoinStats {
         matches,

@@ -211,11 +211,14 @@ fn parallel_partition_pass(
     let mask = fanout as u32 - 1;
     let mut hists: Vec<SimVec<u32>> = (0..t).map(|_| machine.alloc::<u32>(fanout)).collect();
 
-    let hist_stats = machine.parallel(&cfg.cores, |c| {
-        let w = c.worker();
-        charged_fill(c, &mut hists[w], 0..fanout, 0);
-        seq_histogram(c, src, chunk_range(src.len(), t, w), &mut hists[w], shift, mask, cfg.optimized);
-    });
+    let hist_stats = {
+        let _scope = machine.phase(names.0);
+        machine.parallel(&cfg.cores, |c| {
+            let w = c.worker();
+            charged_fill(c, &mut hists[w], 0..fanout, 0);
+            seq_histogram(c, src, chunk_range(src.len(), t, w), &mut hists[w], shift, mask, cfg.optimized);
+        })
+    };
     phases.push((names.0, hist_stats.wall_cycles));
 
     // Prefix sums over (partition, worker) — small metadata, charged as
@@ -239,21 +242,24 @@ fn parallel_partition_pass(
     let mut counts: Vec<SimVec<u32>> = (0..t).map(|_| machine.alloc::<u32>(fanout)).collect();
     let mut buffers: Vec<SimVec<Row>> =
         (0..t).map(|_| machine.alloc::<Row>(fanout * WCB_ROWS)).collect();
-    let copy_stats = machine.parallel(&cfg.cores, |c| {
-        let w = c.worker();
-        seq_scatter(
-            c,
-            src,
-            chunk_range(src.len(), t, w),
-            dst,
-            &mut worker_offsets[w],
-            &mut counts[w],
-            &mut buffers[w],
-            shift,
-            mask,
-            cfg.optimized,
-        );
-    });
+    let copy_stats = {
+        let _scope = machine.phase(names.1);
+        machine.parallel(&cfg.cores, |c| {
+            let w = c.worker();
+            seq_scatter(
+                c,
+                src,
+                chunk_range(src.len(), t, w),
+                dst,
+                &mut worker_offsets[w],
+                &mut counts[w],
+                &mut buffers[w],
+                shift,
+                mask,
+                cfg.optimized,
+            );
+        })
+    };
     phases.push((names.1, copy_stats.wall_cycles));
     starts
 }
@@ -283,6 +289,9 @@ pub(crate) fn join_partition(
 
     // ------------------------------------------------------------- build
     let build_start = c.busy_cycles();
+    // The "build" profile scope covers exactly the busy-cycle window the
+    // Fig 6 breakdown measures, so profile vs. phase stats cross-check.
+    let build_scope = c.phase("build");
     charged_fill(c, heads, 0..ht_size, EMPTY);
     let r_base = r_range.start;
     if optimized {
@@ -322,9 +331,11 @@ pub(crate) fn join_partition(
             links.set(c, i - r_base, next);
         });
     }
+    drop(build_scope);
     *build_busy += c.busy_cycles() - build_start;
 
     // ------------------------------------------------------------- probe
+    let _probe_scope = c.phase("probe");
     let mut walk = |c: &mut Core<'_>, first: u32, srow: Row| {
         let mut e = first;
         c.dependent(|c| {
@@ -414,6 +425,7 @@ pub fn rho_join(
             (0..t).map(|_| machine.alloc::<Row>(fanout2 * WCB_ROWS)).collect();
         let mut queue = cfg.queue.build();
         // Each task repartitions one pass-1 partition of R and S.
+        let _scope = machine.phase("part2");
         let stats = machine.parallel_tasks(&cfg.cores, queue.as_mut(), fanout1, |c, p| {
             let w = c.worker();
             for (src, dst, starts, bounds) in [

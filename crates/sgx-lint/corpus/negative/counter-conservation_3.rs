@@ -1,0 +1,22 @@
+//! Negative: a fully conserved `CategoryCycles` — every bin is charged
+//! by non-test code and surfaced outside the struct's own impl.
+
+pub struct CategoryCycles {
+    pub mee: f64,
+    pub upi: f64,
+}
+
+impl CategoryCycles {
+    pub fn total(&self) -> f64 {
+        self.mee + self.upi
+    }
+}
+
+pub fn charge(c: &mut CategoryCycles) {
+    c.mee += 4.0;
+    c.upi += 9.0;
+}
+
+pub fn profile_row(c: &CategoryCycles) -> [f64; 2] {
+    [c.mee, c.upi]
+}

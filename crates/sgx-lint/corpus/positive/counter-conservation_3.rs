@@ -1,0 +1,24 @@
+//! Positive: the profiler's `CategoryCycles` ledger is conserved under
+//! the same rule as `Counters`. Here `upi` is charged but only ever read
+//! inside `impl CategoryCycles` itself (bookkeeping, not attribution) —
+//! an unattributed bin that leaks cycles out of every phase breakdown.
+
+pub struct CategoryCycles {
+    pub mee: f64,
+    pub upi: f64,
+}
+
+impl CategoryCycles {
+    pub fn total(&self) -> f64 {
+        self.mee + self.upi
+    }
+}
+
+pub fn charge(c: &mut CategoryCycles) {
+    c.mee += 4.0;
+    c.upi += 9.0;
+}
+
+pub fn profile_row(c: &CategoryCycles) -> f64 {
+    c.mee
+}

@@ -18,7 +18,7 @@
 //! | `unsafe-code` | any `unsafe` outside the allow-list (everywhere, including tests) |
 //! | `swallowed-error` | `let _ = <fallible call>(…)` and bare `.ok();` in non-test library code (discards a Result) |
 //! | `untracked-slice-taint` | a slice born from `as_slice_untracked` flowing into a function that indexes/iterates it (cross-file call-graph taint) |
-//! | `counter-conservation` | `Counters` fields never written (dead) or never read outside the defining crate (unattributed) |
+//! | `counter-conservation` | `Counters`/`CategoryCycles` fields never written (dead) or never read outside the defining crate (unattributed) |
 //! | `fault-tick-coverage` | cycle-charging functions in the fault-tick module set (`fault_tick`-defining files + `// sgx-lint: fault-tick-module` files) that never reach `fault_tick` |
 //! | `calibration-provenance` | numeric constants in `// sgx-lint: calibration-file` files without a `paper:`/`uarch:` comment |
 //!

@@ -7,10 +7,12 @@
 //!   iterates it? The token rule sees the escape hatch itself; this rule
 //!   follows the value across the call edge, so a helper loop over
 //!   untracked bytes cannot hide behind a clean-looking call site.
-//! * **counter-conservation** — is every `Counters` field both charged
-//!   (written somewhere in non-test code) and attributed (read outside the
-//!   crate that defines it)? A counter failing either half silently skews
-//!   the enclave-vs-native ratios every figure is built on.
+//! * **counter-conservation** — is every `Counters` / `CategoryCycles`
+//!   field both charged (written somewhere in non-test code) and
+//!   attributed (read outside the crate that defines it)? A counter
+//!   failing either half silently skews the enclave-vs-native ratios
+//!   every figure is built on, and a dead profiler bin would leak cycles
+//!   out of the per-phase breakdown.
 //! * **fault-tick-coverage** — does every cycle-charging function in the
 //!   fault-tick *module set* (files defining `fn fault_tick` plus files
 //!   opting in via `// sgx-lint: fault-tick-module`) reach `fault_tick`,
@@ -238,13 +240,18 @@ fn access_kind(toks: &[Tok], i: usize) -> Access {
     Access::Read
 }
 
-/// Rule: counter-conservation. Every field of a non-test `struct Counters`
-/// must be written in non-test code (charged) and read outside the
-/// defining crate (attributed). When the scanned set spans only one crate
-/// — a subtree lint or a single corpus file — the attribution check falls
-/// back to "read outside the struct's own definition and `impl Counters`
-/// blocks", so partial scans stay useful without false-flagging every
-/// field.
+/// Struct names the conservation rule applies to: the event counters and
+/// the profiler's per-category cycle bins. Both are ledgers whose fields
+/// exist only to be charged and then surfaced in a figure or profile.
+const CONSERVED_STRUCTS: [&str; 2] = ["Counters", "CategoryCycles"];
+
+/// Rule: counter-conservation. Every field of a non-test conserved struct
+/// (`Counters`, `CategoryCycles`) must be written in non-test code
+/// (charged) and read outside the defining crate (attributed). When the
+/// scanned set spans only one crate — a subtree lint or a single corpus
+/// file — the attribution check falls back to "read outside the struct's
+/// own definition and `impl` blocks", so partial scans stay useful
+/// without false-flagging every field.
 fn counter_conservation(ws: &Workspace, out: &mut Vec<(usize, Finding)>) {
     let crates: BTreeSet<&str> =
         ws.files.iter().map(|f| f.crate_name.as_str()).collect();
@@ -253,14 +260,19 @@ fn counter_conservation(ws: &Workspace, out: &mut Vec<(usize, Finding)>) {
         if f.class == FileClass::Test {
             continue;
         }
-        for st in f.items.structs.iter().filter(|s| s.name == "Counters") {
+        for st in f
+            .items
+            .structs
+            .iter()
+            .filter(|s| CONSERVED_STRUCTS.contains(&s.name.as_str()))
+        {
             for field in &st.fields {
                 let mut written = false;
                 let mut attributed = false;
                 for (oi, other) in ws.files.iter().enumerate() {
                     let toks = &other.lexed.tokens;
                     // Token ranges that don't count as attribution: the
-                    // struct definition itself and `impl Counters` blocks
+                    // struct definition itself and its own `impl` blocks
                     // in the defining file (a counter summing itself into
                     // `accesses()` is bookkeeping, not a figure).
                     let own_ranges: Vec<(usize, usize)> = if oi == fi {
@@ -270,7 +282,7 @@ fn counter_conservation(ws: &Workspace, out: &mut Vec<(usize, Finding)>) {
                                     .items
                                     .impls
                                     .iter()
-                                    .filter(|im| im.type_name == "Counters")
+                                    .filter(|im| im.type_name == st.name)
                                     .map(|im| im.body),
                             )
                             .collect()
@@ -587,6 +599,44 @@ mod tests {
         assert_eq!(found.len(), 2, "{msgs:?}");
         assert!(msgs.iter().any(|m| m.contains("`dead`") && m.contains("never written")));
         assert!(msgs.iter().any(|m| m.contains("`ghost`") && m.contains("never read")));
+    }
+
+    #[test]
+    fn conservation_covers_profiler_category_bins() {
+        // The rule applies to `CategoryCycles` exactly as to `Counters`:
+        // a bin nobody charges is dead, a charged bin nobody surfaces is
+        // unattributed. Reads inside `impl CategoryCycles` (the struct's
+        // own `total()`) do not attribute.
+        let bad = ws(&[
+            (
+                "crates/sgx-sim/src/profile.rs",
+                FileClass::Lib,
+                "pub struct CategoryCycles { pub mee: f64, pub dead: f64, pub ghost: f64 }\nimpl CategoryCycles { fn total(&self) -> f64 { self.mee + self.dead + self.ghost } }\nfn charge(c: &mut CategoryCycles) { c.mee += 1.0; c.ghost += 1.0; }",
+            ),
+            (
+                "crates/sgx-bench-core/src/report.rs",
+                FileClass::Lib,
+                "fn surface(c: &CategoryCycles) -> f64 { c.mee }",
+            ),
+        ]);
+        let found = run(&bad);
+        let msgs: Vec<&str> = found.iter().map(|(_, f)| f.message.as_str()).collect();
+        assert_eq!(found.len(), 2, "{msgs:?}");
+        assert!(msgs.iter().any(|m| m.contains("`dead`") && m.contains("never written")));
+        assert!(msgs.iter().any(|m| m.contains("`ghost`") && m.contains("never read")));
+        let good = ws(&[
+            (
+                "crates/sgx-sim/src/profile.rs",
+                FileClass::Lib,
+                "pub struct CategoryCycles { pub mee: f64 }\nfn charge(c: &mut CategoryCycles) { c.mee += 1.0; }",
+            ),
+            (
+                "crates/sgx-bench-core/src/report.rs",
+                FileClass::Lib,
+                "fn surface(c: &CategoryCycles) -> f64 { c.mee }",
+            ),
+        ]);
+        assert!(run(&good).is_empty(), "{:?}", run(&good));
     }
 
     #[test]

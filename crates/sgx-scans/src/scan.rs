@@ -195,6 +195,9 @@ pub fn column_scan(
     }
     machine.reset_wall();
     let start = machine.wall_cycles();
+    // Only the measured passes carry the "scan" profile scope; warm-up
+    // work above stays unscoped, mirroring the wall-clock accounting.
+    let _scan_scope = machine.phase("scan");
     for rep in 0..cfg.repeats {
         let mut count = 0u64;
         pass(machine, &mut count);

@@ -110,6 +110,63 @@ impl Counters {
         self.ocall_retries += other.ocall_retries;
     }
 
+    /// Field-wise difference `self - since`. Counters are monotone (every
+    /// event only increments), so for a snapshot taken earlier on the same
+    /// machine the subtraction cannot underflow; the profiler
+    /// ([`crate::profile`]) relies on these deltas telescoping exactly to
+    /// the run totals.
+    pub fn delta(&self, since: &Counters) -> Counters {
+        Counters {
+            loads: self.loads - since.loads,
+            stores: self.stores - since.stores,
+            l1_hits: self.l1_hits - since.l1_hits,
+            l2_hits: self.l2_hits - since.l2_hits,
+            l3_hits: self.l3_hits - since.l3_hits,
+            dram_fills: self.dram_fills - since.dram_fills,
+            prefetched_fills: self.prefetched_fills - since.prefetched_fills,
+            epc_fills: self.epc_fills - since.epc_fills,
+            remote_fills: self.remote_fills - since.remote_fills,
+            writebacks: self.writebacks - since.writebacks,
+            stream_lines: self.stream_lines - since.stream_lines,
+            transitions: self.transitions - since.transitions,
+            futex_waits: self.futex_waits - since.futex_waits,
+            edmm_pages: self.edmm_pages - since.edmm_pages,
+            epc_page_faults: self.epc_page_faults - since.epc_page_faults,
+            enclave_groups: self.enclave_groups - since.enclave_groups,
+            tlb_misses: self.tlb_misses - since.tlb_misses,
+            alu_ops: self.alu_ops - since.alu_ops,
+            vec_ops: self.vec_ops - since.vec_ops,
+            aex_events: self.aex_events - since.aex_events,
+            ocall_retries: self.ocall_retries - since.ocall_retries,
+        }
+    }
+
+    /// True when at least one counter is nonzero.
+    pub fn any(&self) -> bool {
+        (self.loads
+            | self.stores
+            | self.l1_hits
+            | self.l2_hits
+            | self.l3_hits
+            | self.dram_fills
+            | self.prefetched_fills
+            | self.epc_fills
+            | self.remote_fills
+            | self.writebacks
+            | self.stream_lines
+            | self.transitions
+            | self.futex_waits
+            | self.edmm_pages
+            | self.epc_page_faults
+            | self.enclave_groups
+            | self.tlb_misses
+            | self.alu_ops
+            | self.vec_ops
+            | self.aex_events
+            | self.ocall_retries)
+            != 0
+    }
+
     /// Total charged memory accesses.
     pub fn accesses(&self) -> u64 {
         self.loads + self.stores
@@ -214,6 +271,40 @@ mod tests {
         dst.merge(&src);
         assert_eq!(dst.loads, 4);
         assert_eq!(dst.ocall_retries, 146);
+    }
+
+    #[test]
+    fn delta_covers_every_field_and_inverts_merge() {
+        let src = Counters {
+            loads: 2,
+            stores: 3,
+            l1_hits: 5,
+            l2_hits: 7,
+            l3_hits: 11,
+            dram_fills: 13,
+            prefetched_fills: 17,
+            epc_fills: 19,
+            remote_fills: 23,
+            writebacks: 29,
+            stream_lines: 31,
+            transitions: 37,
+            futex_waits: 41,
+            edmm_pages: 43,
+            epc_page_faults: 47,
+            enclave_groups: 53,
+            tlb_misses: 59,
+            alu_ops: 61,
+            vec_ops: 67,
+            aex_events: 71,
+            ocall_retries: 73,
+        };
+        let mut grown = src.clone();
+        grown.merge(&src);
+        // (src + src) - src == src, field by field (Debug covers all 21).
+        assert_eq!(format!("{:?}", grown.delta(&src)), format!("{src:?}"));
+        assert!(!grown.delta(&grown).any());
+        assert!(src.any());
+        assert!(!Counters::default().any());
     }
 
     #[test]

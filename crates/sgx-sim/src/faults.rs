@@ -179,6 +179,9 @@ pub(crate) fn ocall_cost(retries: u32, transition_cycles: f64, backoff_cycles: f
     let mut cost = 2.0 * transition_cycles;
     for attempt in 0..retries {
         cost += 2.0 * transition_cycles;
+        // Shift-safe under overflow checks: the exponent is clamped to
+        // MAX_BACKOFF_EXP (6), far below u64's 64-bit shift limit, for any
+        // `retries` value.
         cost += backoff_cycles * (1u64 << attempt.min(MAX_BACKOFF_EXP)) as f64;
     }
     cost
@@ -230,7 +233,10 @@ impl FaultEngine {
         let Some(aex) = self.profile.aex else { return f64::INFINITY };
         let k = self.interrupt_draws[core];
         self.interrupt_draws[core] += 1;
-        let u = unit(mix(self.profile.seed, STREAM_AEX ^ (core as u64) << 32, k));
+        // `<<` binds tighter than `^`, so this already shifted the core id
+        // before XORing; parenthesized to make that explicit. The constant
+        // 32-bit shift on a u64 can never trip the shift-width check.
+        let u = unit(mix(self.profile.seed, STREAM_AEX ^ ((core as u64) << 32), k));
         aex.mean_interval_cycles * (0.5 + u)
     }
 

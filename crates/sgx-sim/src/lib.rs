@@ -47,6 +47,7 @@ pub mod faults;
 pub mod machine;
 pub mod mem;
 pub mod paging;
+pub mod profile;
 pub mod sync;
 
 pub use config::HwConfig;
@@ -54,3 +55,4 @@ pub use counters::Counters;
 pub use faults::{AexStorm, EpcPressure, FaultEvent, FaultKind, FaultProfile, OcallFaults};
 pub use machine::{AccessKind, Core, Machine, PhaseStats, StreamReader, StreamWriter};
 pub use mem::{ExecMode, Region, Setting, SimVec};
+pub use profile::{CategoryCycles, CostCategory, PhaseGuard, PhaseProfile, Profile};

@@ -37,6 +37,12 @@
 //! workspace lint proves every cycle-charging function in the set reaches
 //! `fault_tick` — directly or through `commit`.
 //!
+//! The `commit` choke point is also where the opt-in cycle-attribution
+//! profiler ([`crate::profile`]) observes the machine: every charge
+//! carries a [`crate::profile::CostCategory`] (via `core::Tally`), and a
+//! machine built while profiling is enabled attributes each charge to the
+//! current phase scope (see [`Machine::phase`]).
+//!
 //! # Cost model summary (anchored to the paper)
 //!
 //! * Cache hit: level latency, overlapped by the out-of-order engine
@@ -119,6 +125,9 @@ struct AccessCost {
     /// *probe* phase degrades only mildly while the *build* phase
     /// collapses, Fig 4).
     serial_load: bool,
+    /// Cost category of the level/region that served the access
+    /// (cache hit / local DRAM / MEE / UPI), for profile attribution.
+    cat: crate::profile::CostCategory,
 }
 
 /// Accumulator for an explicit issue group (a manual unroll).
@@ -128,6 +137,10 @@ struct GroupAcc {
     near_max: f64,
     far_sum: f64,
     count: u32,
+    /// Raw (near+far) cycles per cost category, indexed by
+    /// `CostCategory::index`; the pooled charge of the group is attributed
+    /// to the dominant category at close time.
+    cats: [f64; 9],
 }
 
 /// Aggregated outcome of a parallel phase.
@@ -169,6 +182,10 @@ pub struct Machine {
     /// Cumulative busy cycles per hardware core across finished phases —
     /// the per-core local clock the fault engine schedules against.
     core_clock: Vec<f64>,
+    /// Cycle-attribution context, installed at construction when
+    /// `profile::enabled()` is set on this thread; `None` (one branch per
+    /// commit) otherwise.
+    prof: Option<Box<crate::profile::ProfCtx>>,
 }
 
 /// Handle through which operator code charges work while running on one

@@ -8,6 +8,7 @@
 use crate::cache::line_of;
 use crate::config::CACHE_LINE;
 use crate::mem::{ExecMode, Region, SimVec};
+use crate::profile::CostCategory;
 
 use super::core::{Charge, Tally};
 use super::{
@@ -97,9 +98,16 @@ impl<'m> Core<'m> {
         if remote {
             self.upi_line();
         }
+        let cat = if enc {
+            CostCategory::Mee
+        } else if remote {
+            CostCategory::Upi
+        } else {
+            CostCategory::Dram
+        };
         self.commit(Charge {
             cycles: per_line + VEC_ISSUE + walk / self.m.cfg.mem.mlp_native,
-            tally: Tally::None,
+            tally: Tally::Cycles(cat),
         });
     }
 
@@ -125,10 +133,12 @@ impl<'m> Core<'m> {
         let first = line_of(addr);
         let mut line_cost_total = 0.0;
         let mut any_dram = false;
+        let mut cats = [0.0f64; 9];
         for line in first..first + lines {
-            let (c, dram) = self.resolve_stream_line(line, kind);
+            let (c, dram, cat) = self.resolve_stream_line(line, kind);
             line_cost_total += c;
             any_dram |= dram;
+            cats[cat.index()] += c;
         }
         let issue = if vector { VEC_ISSUE } else { STREAM_ELEM_ISSUE };
         // The enclave per-load tax only applies to demand fills the MEE
@@ -139,9 +149,13 @@ impl<'m> Core<'m> {
             0.0
         };
         let n_issues = if vector { lines.max(1) } else { elems };
+        let issue_cost = n_issues as f64 * (issue + per_elem_tax);
+        cats[CostCategory::Compute.index()] += issue_cost;
+        // One pooled charge for the touch; attribute it to the dominant
+        // contributor (deterministic lowest-index tie-break).
         self.commit(Charge {
-            cycles: line_cost_total + n_issues as f64 * (issue + per_elem_tax),
-            tally: Tally::None,
+            cycles: line_cost_total + issue_cost,
+            tally: Tally::Cycles(CostCategory::dominant(&cats)),
         });
     }
 }

@@ -10,6 +10,7 @@ use crate::counters::Counters;
 use crate::faults::{FaultEngine, FaultEvent, FaultProfile};
 use crate::mem::{ExecMode, RegionAlloc, Setting};
 use crate::paging::Pager;
+use crate::profile::{CostCategory, PhaseGuard, ProfCtx};
 use crate::sync::QueueModel;
 use std::collections::BTreeSet;
 
@@ -32,9 +33,13 @@ pub(super) struct Charge {
 /// Counter attribution carried by a [`Charge`]. Counters are plain sums,
 /// so applying the tally before the clock advance is equivalent to the
 /// historical inline order — the fault tick never reads these counters.
+/// Every variant maps to a [`CostCategory`], so the cycle-attribution
+/// profiler can bin each committed charge; the type system forces every
+/// charge site to pick one.
 pub(super) enum Tally {
-    /// Pure cycle charge; any counters were already bumped by the caller.
-    None,
+    /// Pure cycle charge attributed to the given cost category; any
+    /// counters were already bumped by the caller.
+    Cycles(CostCategory),
     /// `n` scalar ALU operations.
     AluOps(u64),
     /// `n` 512-bit vector operations.
@@ -78,7 +83,32 @@ impl Machine {
             pager,
             faults: None,
             core_clock: vec![0.0; cfg.total_cores()],
+            prof: crate::profile::enabled().then(|| Box::new(ProfCtx::new())),
             cfg,
+        }
+    }
+
+    /// Push a named phase scope for cycle attribution (see
+    /// [`crate::profile`]); the scope ends when the returned guard drops.
+    /// Flushes the pending counter delta first, so the push boundary is
+    /// exact. Inert (and allocation-free) unless this machine was built
+    /// with profiling enabled.
+    pub fn phase(&mut self, name: &'static str) -> PhaseGuard {
+        if let Some(prof) = self.prof.as_deref_mut() {
+            prof.flush(&self.counters);
+        }
+        let guard = crate::profile::phase(name);
+        if let Some(prof) = self.prof.as_deref_mut() {
+            prof.refresh_scope();
+        }
+        guard
+    }
+
+    /// Attribute a wall-clock charge that does not flow through
+    /// [`Core::commit`] (machine-level ECALL/OCALL costs).
+    pub(super) fn prof_record(&mut self, cat: CostCategory, cycles: f64) {
+        if let Some(prof) = self.prof.as_deref_mut() {
+            prof.record(&self.counters, cat, cycles);
         }
     }
 
@@ -292,12 +322,18 @@ impl Machine {
 }
 
 impl Drop for Machine {
-    /// Fold this machine's counter totals into the thread-local session
-    /// accumulator (see [`crate::counters::session_take`]), so the figure
-    /// harness can attribute counters per job without plumbing a
-    /// collector through every experiment.
+    /// Fold this machine's counter totals — and, when profiling, its
+    /// finished cycle-attribution profile — into the thread-local session
+    /// accumulators (see [`crate::counters::session_take`] and
+    /// [`crate::profile::session_take`]), so the figure harness can
+    /// attribute work per job without plumbing a collector through every
+    /// experiment.
     fn drop(&mut self) {
         crate::counters::session_absorb(&self.counters);
+        if let Some(prof) = self.prof.as_deref_mut() {
+            prof.flush(&self.counters);
+            crate::profile::session_absorb(&prof.take_profile());
+        }
     }
 }
 
@@ -324,20 +360,49 @@ impl<'m> Core<'m> {
     /// Apply a [`Charge`]: attribute its counters, advance this worker's
     /// busy clock, and give the fault engine its tick. Every layer's
     /// cycle charge funnels through here (the only other clock advance is
-    /// `fault_tick_slow`, the fault engine's own exempt path).
+    /// `fault_tick_slow`, the fault engine's own exempt path). This choke
+    /// point is also where the cycle-attribution profiler observes every
+    /// charge; counter bumps and float ordering are unchanged from the
+    /// unprofiled path, and a machine without a profiler pays two `None`
+    /// branches.
     #[inline]
     pub(super) fn commit(&mut self, charge: Charge) {
-        match charge.tally {
-            Tally::None => {}
-            Tally::AluOps(n) => self.m.counters.alu_ops += n,
-            Tally::VecOps(n) => self.m.counters.vec_ops += n,
-            Tally::Transitions(n) => self.m.counters.transitions += n,
-            Tally::Ocall { transitions, retries } => {
-                self.m.counters.transitions += transitions;
-                self.m.counters.ocall_retries += retries;
+        let m = &mut *self.m;
+        if let Some(prof) = m.prof.as_deref_mut() {
+            // Sync scopes *before* the tally so counters bumped since the
+            // last charge flush into the bucket they accrued under.
+            prof.resync_scope(&m.counters);
+        }
+        let cat = match charge.tally {
+            Tally::Cycles(cat) => cat,
+            Tally::AluOps(n) => {
+                m.counters.alu_ops += n;
+                CostCategory::Compute
             }
-            Tally::EdmmPage => self.m.counters.edmm_pages += 1,
-            Tally::EpcPageFault => self.m.counters.epc_page_faults += 1,
+            Tally::VecOps(n) => {
+                m.counters.vec_ops += n;
+                CostCategory::Compute
+            }
+            Tally::Transitions(n) => {
+                m.counters.transitions += n;
+                CostCategory::Transition
+            }
+            Tally::Ocall { transitions, retries } => {
+                m.counters.transitions += transitions;
+                m.counters.ocall_retries += retries;
+                CostCategory::Transition
+            }
+            Tally::EdmmPage => {
+                m.counters.edmm_pages += 1;
+                CostCategory::Edmm
+            }
+            Tally::EpcPageFault => {
+                m.counters.epc_page_faults += 1;
+                CostCategory::EpcPaging
+            }
+        };
+        if let Some(prof) = m.prof.as_deref_mut() {
+            prof.add(cat, charge.cycles);
         }
         self.cycles += charge.cycles;
         self.fault_tick();
@@ -390,7 +455,14 @@ impl<'m> Core<'m> {
     /// Charge raw cycles (e.g. a modelled library call).
     #[inline]
     pub fn charge(&mut self, cycles: f64) {
-        self.commit(Charge { cycles, tally: Tally::None });
+        self.commit(Charge { cycles, tally: Tally::Cycles(CostCategory::Compute) });
+    }
+
+    /// Push a named phase scope for cycle attribution from inside a
+    /// parallel phase (see [`Machine::phase`]); the scope ends when the
+    /// returned guard drops.
+    pub fn phase(&mut self, name: &'static str) -> PhaseGuard {
+        self.m.phase(name)
     }
 
     /// Charge the expected cost of a data-dependent branch that the
@@ -400,7 +472,7 @@ impl<'m> Core<'m> {
     pub fn branch(&mut self, miss_prob: f64) {
         self.commit(Charge {
             cycles: miss_prob.clamp(0.0, 1.0) * BRANCH_MISS_CYCLES,
-            tally: Tally::None,
+            tally: Tally::Cycles(CostCategory::Compute),
         });
     }
 
@@ -445,7 +517,10 @@ impl<'m> Core<'m> {
                 near.max(g.far_sum / mem.mlp_enclave) + p.enclave_group_overhead
             }
         };
-        self.commit(Charge { cycles: cost, tally: Tally::None });
+        // The group's accesses pooled into one charge; attribute it to the
+        // category that contributed the most raw cycles (deterministic
+        // lowest-index tie-break).
+        self.commit(Charge { cycles: cost, tally: Tally::Cycles(CostCategory::dominant(&g.cats)) });
     }
 
     /// Commit a resolved access cost to the pipeline model.
@@ -455,7 +530,7 @@ impl<'m> Core<'m> {
             // enclave overhead — the paper's in-cache pointer chase runs at
             // parity (Fig 5), and on DRAM chases the MEE fill latency in
             // `far` already carries the whole penalty.
-            self.commit(Charge { cycles: c.near + c.far, tally: Tally::None });
+            self.commit(Charge { cycles: c.near + c.far, tally: Tally::Cycles(c.cat) });
             return;
         }
         if let Some(g) = &mut self.group {
@@ -463,6 +538,7 @@ impl<'m> Core<'m> {
             g.near_max = g.near_max.max(c.near);
             g.far_sum += c.far;
             g.count += 1;
+            g.cats[c.cat.index()] += c.near + c.far;
             return;
         }
         let p = self.m.cfg.pipeline;
@@ -483,6 +559,6 @@ impl<'m> Core<'m> {
                 }
             }
         };
-        self.commit(Charge { cycles: cost, tally: Tally::None });
+        self.commit(Charge { cycles: cost, tally: Tally::Cycles(c.cat) });
     }
 }

@@ -6,6 +6,7 @@
 use crate::cache::Evicted;
 use crate::config::{CACHE_LINE, PAGE_SIZE};
 use crate::mem::{ExecMode, Region};
+use crate::profile::CostCategory;
 
 use super::core::{Charge, Tally};
 use super::{
@@ -74,6 +75,16 @@ impl<'m> Core<'m> {
             // Install bottom-up so evictions cascade.
             self.install_l3(line, write);
             self.install_l1(line, write);
+            // Attribution: the fill's dominant latency source — MEE
+            // decryption beats the UPI hop (uce extras ride on the MEE
+            // path), which beats plain DRAM.
+            let cat = if enc {
+                CostCategory::Mee
+            } else if remote {
+                CostCategory::Upi
+            } else {
+                CostCategory::Dram
+            };
             let cfg = &self.m.cfg;
             let cost = if prefetched {
                 let mut per_line = cfg.mem.stream_line_cycles;
@@ -99,7 +110,12 @@ impl<'m> Core<'m> {
                         self.upi_line();
                     }
                 }
-                return AccessCost { near: PREFETCHED_NEAR, far: per_line + walk, serial_load: false };
+                return AccessCost {
+                    near: PREFETCHED_NEAR,
+                    far: per_line + walk,
+                    serial_load: false,
+                    cat,
+                };
             } else {
                 let mut far = cfg.mem.dram_latency - cfg.l3.latency + walk;
                 if remote {
@@ -114,7 +130,7 @@ impl<'m> Core<'m> {
                         far += cfg.mem.mee_write_penalty;
                     }
                 }
-                AccessCost { near: cfg.l3.latency, far, serial_load: kind == AccessKind::Rmw }
+                AccessCost { near: cfg.l3.latency, far, serial_load: kind == AccessKind::Rmw, cat }
             };
             return cost;
         }
@@ -123,12 +139,22 @@ impl<'m> Core<'m> {
             HitLevel::L2 => l2_lat,
             HitLevel::L3 => l3_lat,
         };
-        AccessCost { near, far: walk, serial_load: kind == AccessKind::Rmw }
+        AccessCost {
+            near,
+            far: walk,
+            serial_load: kind == AccessKind::Rmw,
+            cat: CostCategory::Cache,
+        }
     }
 
     /// Per-line cost of a stream access through the hierarchy; the flag
-    /// reports whether the line came from DRAM.
-    pub(super) fn resolve_stream_line(&mut self, line: u64, kind: AccessKind) -> (f64, bool) {
+    /// reports whether the line came from DRAM, and the category names the
+    /// level/region that served it (for profile attribution).
+    pub(super) fn resolve_stream_line(
+        &mut self,
+        line: u64,
+        kind: AccessKind,
+    ) -> (f64, bool, CostCategory) {
         let write = kind != AccessKind::Load;
         let addr = line * CACHE_LINE as u64;
         let region = Region::of_addr(addr);
@@ -139,17 +165,17 @@ impl<'m> Core<'m> {
         let hw = &mut self.m.cores[self.id];
         if hw.l1.access(line, write) {
             self.m.counters.l1_hits += 1;
-            return (L1_STREAM_LINE + walk, false);
+            return (L1_STREAM_LINE + walk, false, CostCategory::Cache);
         }
         if hw.l2.access(line, write) {
             self.m.counters.l2_hits += 1;
             self.install_l1(line, write);
-            return (L2_STREAM_LINE + walk, false);
+            return (L2_STREAM_LINE + walk, false, CostCategory::Cache);
         }
         if self.m.l3[self.socket].access(line, write) {
             self.m.counters.l3_hits += 1;
             self.install_l1(line, write);
-            return (L3_STREAM_LINE + walk, false);
+            return (L3_STREAM_LINE + walk, false, CostCategory::Cache);
         }
         self.m.counters.dram_fills += 1;
         self.m.counters.prefetched_fills += 1;
@@ -186,7 +212,14 @@ impl<'m> Core<'m> {
                 self.upi_line();
             }
         }
-        (per_line + walk, true)
+        let cat = if enc {
+            CostCategory::Mee
+        } else if remote {
+            CostCategory::Upi
+        } else {
+            CostCategory::Dram
+        };
+        (per_line + walk, true, cat)
     }
 
     /// Probe the per-core TLB for `addr`'s page; returns the page-walk
@@ -244,14 +277,22 @@ impl<'m> Core<'m> {
         self.m.counters.writebacks += 1;
         let region = Region::of_addr(line * CACHE_LINE as u64);
         let enc = region.is_epc() && self.m.mode == ExecMode::Enclave;
+        let remote = region.node() != self.socket;
         self.dram_bytes[region.node()] += self.line_bus_bytes(enc, true);
-        if region.node() != self.socket {
+        if remote {
             self.upi_line();
         }
+        let cat = if enc {
+            CostCategory::Mee
+        } else if remote {
+            CostCategory::Upi
+        } else {
+            CostCategory::Dram
+        };
         self.commit(Charge {
             cycles: self.m.cfg.mem.writeback_line_cycles
                 / self.m.cfg.mem.mlp_native.max(1.0),
-            tally: Tally::None,
+            tally: Tally::Cycles(cat),
         });
     }
 }

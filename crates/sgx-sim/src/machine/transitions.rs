@@ -7,6 +7,7 @@
 use crate::faults::ocall_cost;
 use crate::mem::ExecMode;
 use crate::paging::Pager;
+use crate::profile::CostCategory;
 
 use super::core::{Charge, Tally};
 use super::{Core, Machine};
@@ -16,8 +17,10 @@ impl Machine {
     /// mode), e.g. the ECALL that launches a query.
     pub fn ecall(&mut self) {
         if self.mode == ExecMode::Enclave {
-            self.wall += 2.0 * self.cfg.transitions.transition_cycles;
+            let cost = 2.0 * self.cfg.transitions.transition_cycles;
+            self.wall += cost;
             self.counters.transitions += 2;
+            self.prof_record(CostCategory::Transition, cost);
         }
     }
 
@@ -40,9 +43,11 @@ impl Machine {
             .as_ref()
             .and_then(|engine| engine.profile().ocall)
             .map_or(0.0, |o| o.backoff_cycles);
-        self.wall += ocall_cost(retries, self.cfg.transitions.transition_cycles, backoff);
+        let cost = ocall_cost(retries, self.cfg.transitions.transition_cycles, backoff);
+        self.wall += cost;
         self.counters.transitions += 2 * (1 + retries as u64);
         self.counters.ocall_retries += retries as u64;
+        self.prof_record(CostCategory::Transition, cost);
         retries
     }
 }
@@ -145,6 +150,14 @@ impl<'m> Core<'m> {
                 ExecMode::Native => self.m.cfg.interrupts.native_interrupt_cycles,
             };
             self.cycles += cost;
+            // The interrupt bypasses `commit` (the fault engine's exempt
+            // path), so attribute its cycles to the profiler here.
+            {
+                let m = &mut *self.m;
+                if let Some(prof) = m.prof.as_deref_mut() {
+                    prof.record(&m.counters, CostCategory::Fault, cost);
+                }
+            }
             if let Some(engine) = self.m.faults.as_mut() {
                 engine.interrupt_fired(self.id, clock, base + self.cycles);
             }

@@ -112,6 +112,9 @@ pub fn q3(machine: &mut Machine, db: &TpchDb, cfg: &QueryConfig) -> QueryStats {
     machine.ecall();
     let mut ops = Vec::new();
 
+    // Each plan operator runs under a profile scope named like its `ops`
+    // entry, so `--profile` yields a per-operator cycle breakdown.
+    let scope = machine.phase("sel customer");
     let (cust, t) = select_rows(
         machine,
         cores,
@@ -120,8 +123,10 @@ pub fn q3(machine: &mut Machine, db: &TpchDb, cfg: &QueryConfig) -> QueryStats {
         Payload::RowIndex,
         &|i| db.customer.mktsegment.peek(i) == SEG_BUILDING,
     );
+    drop(scope);
     ops.push(("sel customer", t));
 
+    let scope = machine.phase("sel orders");
     let (orders, t) = select_rows(
         machine,
         cores,
@@ -130,18 +135,24 @@ pub fn q3(machine: &mut Machine, db: &TpchDb, cfg: &QueryConfig) -> QueryStats {
         Payload::Col(&db.orders.orderkey),
         &|i| db.orders.orderdate.peek(i) < cutoff,
     );
+    drop(scope);
     ops.push(("sel orders", t));
 
+    let scope = machine.phase("join c⋈o");
     let j1 = join(machine, &cust, &orders, cfg, false);
+    drop(scope);
     ops.push(("join c⋈o", j1.wall_cycles));
     // sgx-lint: allow(panic-in-library) join() always materializes when asked; a None output is a simulator bug, not an input condition
     let jt1 = j1.output.expect("materializing join returns output");
+    let scope = machine.phase("reshape");
     let (co, t) = retuple(machine, cores, &jt1, &j1.output_runs, &|t| Row {
         key: t.s_payload,
         payload: t.s_payload,
     });
+    drop(scope);
     ops.push(("reshape", t));
 
+    let scope = machine.phase("sel lineitem");
     let (line, t) = select_rows(
         machine,
         cores,
@@ -150,9 +161,12 @@ pub fn q3(machine: &mut Machine, db: &TpchDb, cfg: &QueryConfig) -> QueryStats {
         Payload::RowIndex,
         &|i| db.lineitem.shipdate.peek(i) > cutoff,
     );
+    drop(scope);
     ops.push(("sel lineitem", t));
 
+    let scope = machine.phase("join co⋈l");
     let j2 = join(machine, &co, &line, cfg, true);
+    drop(scope);
     ops.push(("join co⋈l", j2.wall_cycles));
 
     QueryStats { count: j2.matches, wall_cycles: machine.wall_cycles() - start, ops }
@@ -167,6 +181,7 @@ pub fn q10(machine: &mut Machine, db: &TpchDb, cfg: &QueryConfig) -> QueryStats 
     machine.ecall();
     let mut ops = Vec::new();
 
+    let scope = machine.phase("scan customer");
     let (cust, t) = select_rows(
         machine,
         cores,
@@ -175,8 +190,10 @@ pub fn q10(machine: &mut Machine, db: &TpchDb, cfg: &QueryConfig) -> QueryStats 
         Payload::Col(&db.customer.nationkey),
         &|_| true,
     );
+    drop(scope);
     ops.push(("scan customer", t));
 
+    let scope = machine.phase("sel orders");
     let (orders, t) = select_rows(
         machine,
         cores,
@@ -188,19 +205,25 @@ pub fn q10(machine: &mut Machine, db: &TpchDb, cfg: &QueryConfig) -> QueryStats 
             d >= lo && d < hi
         },
     );
+    drop(scope);
     ops.push(("sel orders", t));
 
+    let scope = machine.phase("join c⋈o");
     let j1 = join(machine, &cust, &orders, cfg, false);
+    drop(scope);
     ops.push(("join c⋈o", j1.wall_cycles));
     // sgx-lint: allow(panic-in-library) join() always materializes when asked; a None output is a simulator bug, not an input condition
     let jt1 = j1.output.expect("materializing join returns output");
     // key: orderkey, payload: the customer's nationkey.
+    let scope = machine.phase("reshape");
     let (co, t) = retuple(machine, cores, &jt1, &j1.output_runs, &|t| Row {
         key: t.s_payload,
         payload: t.r_payload,
     });
+    drop(scope);
     ops.push(("reshape", t));
 
+    let scope = machine.phase("sel lineitem");
     let (line, t) = select_rows(
         machine,
         cores,
@@ -209,19 +232,25 @@ pub fn q10(machine: &mut Machine, db: &TpchDb, cfg: &QueryConfig) -> QueryStats 
         Payload::RowIndex,
         &|i| db.lineitem.returnflag.peek(i) == FLAG_R,
     );
+    drop(scope);
     ops.push(("sel lineitem", t));
 
+    let scope = machine.phase("join co⋈l");
     let j2 = join(machine, &co, &line, cfg, false);
+    drop(scope);
     ops.push(("join co⋈l", j2.wall_cycles));
     // sgx-lint: allow(panic-in-library) join() always materializes when asked; a None output is a simulator bug, not an input condition
     let jt2 = j2.output.expect("materializing join returns output");
     // key: nationkey carried from the customer side.
+    let scope = machine.phase("reshape");
     let (col, t) = retuple(machine, cores, &jt2, &j2.output_runs, &|t| Row {
         key: t.r_payload,
         payload: t.s_payload,
     });
+    drop(scope);
     ops.push(("reshape", t));
 
+    let scope = machine.phase("scan nation");
     let (nation, t) = select_rows(
         machine,
         cores,
@@ -230,9 +259,12 @@ pub fn q10(machine: &mut Machine, db: &TpchDb, cfg: &QueryConfig) -> QueryStats 
         Payload::RowIndex,
         &|_| true,
     );
+    drop(scope);
     ops.push(("scan nation", t));
 
+    let scope = machine.phase("join ⋈n");
     let j3 = join(machine, &nation, &col, cfg, true);
+    drop(scope);
     ops.push(("join ⋈n", j3.wall_cycles));
 
     QueryStats { count: j3.matches, wall_cycles: machine.wall_cycles() - start, ops }
@@ -256,6 +288,7 @@ pub fn q12(machine: &mut Machine, db: &TpchDb, cfg: &QueryConfig) -> QueryStats 
     machine.ecall();
     let mut ops = Vec::new();
 
+    let scope = machine.phase("scan orders");
     let (orders, t) = select_rows(
         machine,
         cores,
@@ -264,8 +297,10 @@ pub fn q12(machine: &mut Machine, db: &TpchDb, cfg: &QueryConfig) -> QueryStats 
         Payload::RowIndex,
         &|_| true,
     );
+    drop(scope);
     ops.push(("scan orders", t));
 
+    let scope = machine.phase("sel lineitem");
     let (line, t) = select_rows(
         machine,
         cores,
@@ -279,9 +314,12 @@ pub fn q12(machine: &mut Machine, db: &TpchDb, cfg: &QueryConfig) -> QueryStats 
         Payload::RowIndex,
         &|i| q12_line_pred(db, i),
     );
+    drop(scope);
     ops.push(("sel lineitem", t));
 
+    let scope = machine.phase("join o⋈l");
     let j = join(machine, &orders, &line, cfg, true);
+    drop(scope);
     ops.push(("join o⋈l", j.wall_cycles));
 
     QueryStats { count: j.matches, wall_cycles: machine.wall_cycles() - start, ops }
@@ -336,6 +374,7 @@ pub fn q19(machine: &mut Machine, db: &TpchDb, cfg: &QueryConfig) -> QueryStats 
     machine.ecall();
     let mut ops = Vec::new();
 
+    let scope = machine.phase("sel part");
     let (part, t) = select_rows(
         machine,
         cores,
@@ -344,8 +383,10 @@ pub fn q19(machine: &mut Machine, db: &TpchDb, cfg: &QueryConfig) -> QueryStats 
         Payload::RowIndex,
         &|i| q19_part_pred(db, i),
     );
+    drop(scope);
     ops.push(("sel part", t));
 
+    let scope = machine.phase("sel lineitem");
     let (line, t) = select_rows(
         machine,
         cores,
@@ -354,9 +395,12 @@ pub fn q19(machine: &mut Machine, db: &TpchDb, cfg: &QueryConfig) -> QueryStats 
         Payload::RowIndex,
         &|i| q19_line_pred(db, i),
     );
+    drop(scope);
     ops.push(("sel lineitem", t));
 
+    let scope = machine.phase("join p⋈l");
     let j = join(machine, &part, &line, cfg, false);
+    drop(scope);
     ops.push(("join p⋈l", j.wall_cycles));
     // sgx-lint: allow(panic-in-library) join() always materializes when asked; a None output is a simulator bug, not an input condition
     let jt = j.output.expect("materializing join returns output");
@@ -364,6 +408,7 @@ pub fn q19(machine: &mut Machine, db: &TpchDb, cfg: &QueryConfig) -> QueryStats 
     // Post-join disjunct evaluation: gather the part attributes (random
     // reads by row id) and the lineitem quantity for every surviving pair.
     let mut count = 0u64;
+    let scope = machine.phase("post filter");
     let t = for_each_join_tuple(machine, cores, &jt, &j.output_runs, |c, tup| {
         let (pi, li) = (tup.r_payload as usize, tup.s_payload as usize);
         let _ = db.part.brand.get(c, pi);
@@ -373,6 +418,7 @@ pub fn q19(machine: &mut Machine, db: &TpchDb, cfg: &QueryConfig) -> QueryStats 
             count += 1;
         }
     });
+    drop(scope);
     ops.push(("post filter", t));
 
     QueryStats { count, wall_cycles: machine.wall_cycles() - start, ops }
@@ -400,6 +446,7 @@ pub fn q1_pricing_summary(
     for i in 0..n {
         group_col.poke(i, db.lineitem.returnflag.peek(i) * 8 + db.lineitem.shipmode.peek(i));
     }
+    let scope = machine.phase("sel lineitem");
     let (rows, t) = select_rows(
         machine,
         cores,
@@ -408,9 +455,12 @@ pub fn q1_pricing_summary(
         Payload::RowIndex,
         &|i| db.lineitem.shipdate.peek(i) <= cutoff,
     );
+    drop(scope);
     ops.push(("sel lineitem", t));
 
+    let scope = machine.phase("group count");
     let agg = crate::aggregate::group_count(machine, cores, &rows, 32, cfg.optimized);
+    drop(scope);
     ops.push(("group count", agg.cycles));
 
     let total: u64 = agg.counts.iter().sum();
@@ -429,6 +479,7 @@ pub fn q6_forecast_revenue(machine: &mut Machine, db: &TpchDb, cfg: &QueryConfig
     let (lo, hi) = (date(1994, 1, 1), date(1995, 1, 1));
     let start = machine.wall_cycles();
     machine.ecall();
+    let scope = machine.phase("sel lineitem");
     let (rows, t) = select_rows(
         machine,
         &cfg.cores,
@@ -443,6 +494,7 @@ pub fn q6_forecast_revenue(machine: &mut Machine, db: &TpchDb, cfg: &QueryConfig
                 && db.lineitem.quantity.peek(i) < 24
         },
     );
+    drop(scope);
     QueryStats {
         count: rows.len() as u64,
         wall_cycles: machine.wall_cycles() - start,

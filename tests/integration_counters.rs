@@ -187,6 +187,150 @@ fn remote_fills_cross_sockets() {
     assert!(c.remote_fills <= c.dram_fills);
 }
 
+// ---------------------------------------------------------------------------
+// Cycle-attribution profiler conservation suite: with `--profile` semantics
+// (profiling enabled on the session), the per-phase counter deltas must
+// partition the machine's counters *exactly*, and the phase × category
+// cycle sums must reconcile with the total charged cycles.
+// ---------------------------------------------------------------------------
+
+use sgx_bench_core::sgx_sim::{counters, profile};
+
+/// Run `work` under a fresh enabled profile + counter session; returns the
+/// captured profile, the counter totals of every machine dropped inside,
+/// and `work`'s result.
+fn with_profile<R>(work: impl FnOnce() -> R) -> (profile::Profile, Counters, R) {
+    profile::set_enabled(true);
+    let _ = profile::session_take();
+    let _ = counters::session_take();
+    let r = work();
+    profile::set_enabled(false);
+    let p = profile::session_take();
+    let c = counters::session_take();
+    (p, c, r)
+}
+
+/// The two conservation invariants of `sgx_sim::profile`.
+fn assert_conserves(p: &profile::Profile, c: &Counters, label: &str) {
+    // u64 counters: the snapshot deltas telescope, so the partition is
+    // exact — field for field.
+    assert_eq!(
+        format!("{:?}", p.total_counters()),
+        format!("{c:?}"),
+        "{label}: per-phase counter deltas must partition the machine counters"
+    );
+    // f64 cycles: binning regroups the same additions, so only float
+    // re-association separates the two sums.
+    let total = p.total_cycles();
+    let charged = p.charged_cycles;
+    let eps = charged.abs().max(1.0) * 1e-9;
+    assert!(
+        (total - charged).abs() <= eps,
+        "{label}: phase x category cycles {total} drifted from charged {charged}"
+    );
+    assert!(charged > 0.0, "{label}: the workload must charge real cycles");
+}
+
+/// Join workload: every RHO phase appears, and the whole run conserves.
+#[test]
+fn profile_conserves_for_rho_join() {
+    let (p, c, stats) = with_profile(|| {
+        let mut m = Machine::new(tiny_hw(), Setting::SgxDataInEnclave);
+        let r = gen_pk_relation(&mut m, 4000, 1);
+        let s = gen_fk_relation(&mut m, 16_000, 4000, 2);
+        sgx_bench_core::sgx_joins::rho::rho_join(
+            &mut m,
+            &r,
+            &s,
+            &JoinConfig::new(2).with_radix_bits(6),
+        )
+    });
+    assert!(stats.matches > 0);
+    assert_conserves(&p, &c, "rho_join");
+    for phase in ["hist_r", "copy_r", "hist_s", "copy_s", "build", "probe"] {
+        assert!(p.phases.contains_key(phase), "phase {phase} missing: {:?}", p.phases.keys());
+    }
+    // An enclave join must spend real cycles in the MEE bin somewhere.
+    let mee: f64 = p.phases.values().map(|ph| ph.cycles.mee).sum();
+    assert!(mee > 0.0, "enclave-resident join data must pay MEE cycles");
+}
+
+/// Scan workload: measured passes land in the "scan" scope, warm-up work
+/// stays unscoped, and the run conserves.
+#[test]
+fn profile_conserves_for_column_scan() {
+    let (p, c, stats) = with_profile(|| {
+        let mut m = Machine::new(tiny_hw(), Setting::SgxDataInEnclave);
+        let col = gen_column(&mut m, 1 << 20, 3);
+        column_scan(
+            &mut m,
+            &col,
+            32,
+            96,
+            ScanOutput::BitVector,
+            &ScanConfig::new(2).with_warmup(1),
+        )
+    });
+    assert!(stats.matches > 0);
+    assert_conserves(&p, &c, "column_scan");
+    let scan = p.phases.get("scan").expect("measured passes carry the scan scope");
+    assert!(scan.cycles.total() > 0.0);
+    assert!(
+        p.phases.contains_key("(unscoped)"),
+        "warm-up charges stay outside the scan scope: {:?}",
+        p.phases.keys()
+    );
+}
+
+/// Faulted run: AEX handler time lands in the fault bin, transitions in
+/// the transition bin, and the storm still conserves exactly.
+#[test]
+fn profile_conserves_under_aex_storm() {
+    let (p, c, ()) = with_profile(|| {
+        let mut m = Machine::new(tiny_hw(), Setting::SgxDataInEnclave);
+        m.install_faults(FaultProfile::new(11).with_aex_storm(20_000.0));
+        m.ecall();
+        churn(&mut m, 50_000, 80_000);
+    });
+    assert!(c.aex_events > 0, "the storm must fire for this test to mean anything");
+    assert_conserves(&p, &c, "aex_storm");
+    let fault: f64 = p.phases.values().map(|ph| ph.cycles.fault).sum();
+    assert!(fault > 0.0, "AEX handler time must land in the fault bin");
+    let transition: f64 = p.phases.values().map(|ph| ph.cycles.transition).sum();
+    assert!(transition > 0.0, "the ECALL must land in the transition bin");
+}
+
+/// Fig 6 cross-check: the profiler's "build" total equals the busy-cycle
+/// delta the join's own phase breakdown measures (same commits, so only
+/// float re-association separates them); "probe" is bounded by the
+/// breakdown's probe figure, which additionally includes dequeue waits.
+#[test]
+fn profile_build_phase_matches_fig6_breakdown() {
+    let (p, _c, stats) = with_profile(|| {
+        let mut m = Machine::new(tiny_hw(), Setting::SgxDataInEnclave);
+        let r = gen_pk_relation(&mut m, 4000, 1);
+        let s = gen_fk_relation(&mut m, 16_000, 4000, 2);
+        sgx_bench_core::sgx_joins::rho::rho_join(
+            &mut m,
+            &r,
+            &s,
+            &JoinConfig::new(1).with_radix_bits(4),
+        )
+    });
+    let build_prof = p.phases["build"].cycles.total();
+    let build_stat = stats.phase("build");
+    assert!(build_stat > 0.0);
+    let rel = (build_prof - build_stat).abs() / build_stat;
+    assert!(rel < 1e-9, "profile build {build_prof} vs breakdown build {build_stat} (rel {rel})");
+    let probe_prof = p.phases["probe"].cycles.total();
+    let probe_stat = stats.phase("probe");
+    assert!(probe_prof > 0.0);
+    assert!(
+        probe_prof <= probe_stat * (1.0 + 1e-9),
+        "profile probe {probe_prof} must not exceed breakdown probe {probe_stat}"
+    );
+}
+
 /// Fault engine: an AEX storm delivers interrupts, and every AEX is a
 /// two-crossing enclave round trip.
 #[test]

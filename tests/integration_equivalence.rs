@@ -92,7 +92,7 @@ fn per_job_counters_merge_to_whole_run_totals() {
         only: vec!["fig07".into(), "fig12".into(), "ext_aggregation".into()],
         skip: vec![],
     };
-    let cfg = RunConfig { jobs: 2, filter: filter.clone(), fail_injection: None };
+    let cfg = RunConfig { jobs: 2, filter: filter.clone(), ..RunConfig::default() };
     let outcomes = run_registry(&reg, &profile, &cfg);
     let mut merged = Counters::default();
     for o in &outcomes {

@@ -4,6 +4,7 @@
 //! and re-serialize byte-identically.
 
 use proptest::prelude::*;
+use sgx_bench_core::json::Value;
 use sgx_bench_core::{Figure, Stat};
 
 /// A representative figure serialized by the deterministic printer. Kept
@@ -52,6 +53,29 @@ proptest! {
         }
     }
 
+    /// Shortest-roundtrip property of the number printer: every finite
+    /// f64 the writer emits must parse back to the exact same bit
+    /// pattern. Random bit patterns cover subnormals, huge magnitudes,
+    /// and 17-significant-digit values; the explicit unit test below
+    /// pins the named edge cases.
+    #[test]
+    fn numbers_roundtrip_exactly(bits in 0u64..u64::MAX) {
+        let x = f64::from_bits(bits);
+        if x.is_finite() {
+            let text = Value::Num(x).pretty();
+            match Value::parse(&text) {
+                Ok(Value::Num(y)) => prop_assert_eq!(
+                    y.to_bits(),
+                    x.to_bits(),
+                    "{} reprinted as {}",
+                    x,
+                    text
+                ),
+                other => prop_assert!(false, "{} did not re-parse: {:?}", text, other),
+            }
+        }
+    }
+
     /// Arbitrary short garbage strings are rejected without panicking.
     /// (The vendored proptest has no string-regex strategies, so the
     /// garbage is derived from a seeded LCG over printable ASCII plus the
@@ -68,6 +92,37 @@ proptest! {
             .collect();
         let _ = Figure::from_json(&s);
     }
+}
+
+/// Named number-printer edge cases: negative zero (the `as i64` cast used
+/// to erase its sign and print "0.0"), subnormals, 1e300, a
+/// 17-significant-digit value, and integers at the f64/i64 precision
+/// boundary.
+#[test]
+fn number_edge_cases_roundtrip() {
+    let cases = [
+        -0.0,
+        0.0,
+        f64::MIN_POSITIVE,        // smallest normal
+        5e-324,                   // smallest subnormal
+        -5e-324,
+        1e300,
+        -1e300,
+        0.1 + 0.2,                // 0.30000000000000004 — 17 sig digits
+        1.7976931348623157e308,   // f64::MAX
+        9.007199254740993e15,     // just past the 1e15 integer-path bound
+        i64::MAX as f64,
+        -(i64::MAX as f64),
+    ];
+    for x in cases {
+        let text = Value::Num(x).pretty();
+        let back = match Value::parse(&text) {
+            Ok(Value::Num(y)) => y,
+            other => panic!("{x:?} printed as {text:?} which parsed to {other:?}"),
+        };
+        assert_eq!(back.to_bits(), x.to_bits(), "{x:?} -> {text:?} -> {back:?}");
+    }
+    assert_eq!(Value::Num(-0.0).pretty(), "-0.0", "negative zero keeps its sign");
 }
 
 /// Deeply nested input must hit the parser's recursion bound, not the
