@@ -61,6 +61,33 @@ if "$LINT" --baseline "$LINT_TMP/stale.json" crates tests >/dev/null 2>&1; then
 fi
 rm -rf "$LINT_TMP"
 
+RD_TMP=$(mktemp -d)
+RD_FLOOR=95
+
+echo "== ci: lint robustness RD gate (floor $RD_FLOOR, byte-identical across runs and --jobs)"
+"$LINT" robustness --floor "$RD_FLOOR" --format json > "$RD_TMP/rd1.json"
+"$LINT" robustness --floor "$RD_FLOOR" --format json > "$RD_TMP/rd2.json"
+"$LINT" robustness --floor "$RD_FLOOR" --format json --jobs 4 > "$RD_TMP/rd4.json"
+if ! cmp -s "$RD_TMP/rd1.json" "$RD_TMP/rd2.json"; then
+    echo "ci: FAIL — robustness report must be byte-identical across runs" >&2
+    exit 1
+fi
+if ! cmp -s "$RD_TMP/rd1.json" "$RD_TMP/rd4.json"; then
+    echo "ci: FAIL — robustness report must be byte-identical across --jobs" >&2
+    exit 1
+fi
+
+echo "== ci: lint robustness negative check (weakened rules must fail the floor)"
+if "$LINT" robustness --floor "$RD_FLOOR" --weaken taint-indirection,taint-alias >/dev/null 2>&1; then
+    echo "ci: FAIL — weakened rule set must drop RD below the floor" >&2
+    exit 1
+fi
+if "$LINT" robustness --baseline lint-baseline.json >/dev/null 2>&1; then
+    echo "ci: FAIL — robustness must reject --baseline" >&2
+    exit 1
+fi
+rm -rf "$RD_TMP"
+
 BIN=target/release/all_figures
 MANIFEST=target/figures/manifest.json
 

@@ -1,0 +1,157 @@
+//! Perf-trajectory smoke: `BENCH_pr<N>.json` seeder.
+//!
+//! Measures three coarse host-side throughput numbers and writes them in
+//! a `BENCHMARK_DATA`-style document (schema patterned on the
+//! github-action-benchmark `data.js` format, minus the `window.` JS
+//! wrapper):
+//!
+//! * `lint-workspace` — wall-clock of a full `sgx-lint` pass over
+//!   `crates/` (ms);
+//! * `join-smoke` — simulator events/sec while running the PHT join on a
+//!   small relation pair;
+//! * `scan-smoke` — simulator events/sec for a parallel linear read.
+//!
+//! "Events" are simulated micro-operations (loads + stores + scalar +
+//! vector ops), so events/sec tracks how fast the *host* grinds through
+//! simulated work — the number optimization PRs move. Simulated results
+//! stay bit-deterministic; only the wall-clock side varies per host, which
+//! is why these numbers live in a checked-in trajectory file rather than
+//! a test.
+//!
+//! Usage: `cargo run --release -p bench --bin bench_events -- [--out FILE]
+//! [--commit ID]` (default `--out` is stdout).
+
+use sgx_bench_core::json::Value;
+use sgx_joins::common::JoinConfig;
+use sgx_joins::data::{gen_fk_relation, gen_pk_relation};
+use sgx_joins::pht::pht_join;
+use sgx_scans::linear::{linear_read, LinearConfig, Width};
+use sgx_sim::config::scaled_profile;
+use sgx_sim::counters::Counters;
+use sgx_sim::machine::Machine;
+use sgx_sim::mem::Setting;
+use std::path::PathBuf;
+// sgx-lint: allow(nondeterminism) host wall-clock IS the metric here — events/sec of the simulator itself
+use std::time::Instant;
+
+/// Simulated micro-operations in a counter delta.
+fn events(d: &Counters) -> u64 {
+    d.loads + d.stores + d.alu_ops + d.vec_ops
+}
+
+struct BenchRow {
+    name: &'static str,
+    value: f64,
+    unit: &'static str,
+}
+
+fn main() {
+    let mut out_path: Option<PathBuf> = None;
+    let mut commit = "worktree".to_string();
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--out" => out_path = args.next().map(PathBuf::from),
+            "--commit" => {
+                if let Some(c) = args.next() {
+                    commit = c;
+                }
+            }
+            other => {
+                eprintln!("bench_events: unknown argument {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let mut rows: Vec<BenchRow> = Vec::new();
+
+    // --- sgx-lint wall-clock over the workspace sources.
+    // sgx-lint: allow(nondeterminism) timing the lint pass is the benchmark
+    let t0 = Instant::now();
+    let reports = sgx_lint::analyze_paths(&[PathBuf::from("crates")]);
+    let lint_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let files = reports.len();
+    eprintln!("bench_events: lint pass over {files} files in {lint_ms:.1} ms");
+    rows.push(BenchRow { name: "lint-workspace", value: lint_ms, unit: "ms" });
+
+    // --- PHT join smoke: events/sec at a small, fixed scale.
+    let mut m = Machine::new(scaled_profile(), Setting::SgxDataInEnclave);
+    let r = gen_pk_relation(&mut m, 1 << 14, 0xC0FFEE);
+    let s = gen_fk_relation(&mut m, 1 << 16, 1 << 14, 0xBEEF);
+    let cfg = JoinConfig::new(2);
+    let before = m.counters().clone();
+    // sgx-lint: allow(nondeterminism) timing the host's simulation rate is the benchmark
+    let t0 = Instant::now();
+    let stats = pht_join(&mut m, &r, &s, &cfg);
+    let secs = t0.elapsed().as_secs_f64().max(1e-9);
+    let ev = events(&m.counters().delta(&before));
+    eprintln!(
+        "bench_events: join smoke — {} matches, {ev} events in {:.1} ms",
+        stats.matches,
+        secs * 1e3
+    );
+    rows.push(BenchRow { name: "join-smoke", value: ev as f64 / secs, unit: "events/sec" });
+
+    // --- linear-scan smoke: events/sec over a parallel 64-bit read.
+    let mut m = Machine::new(scaled_profile(), Setting::SgxDataInEnclave);
+    let v = m.alloc::<u64>(1 << 18);
+    let cfg = LinearConfig::new(2).with_warmup(0).with_repeats(2);
+    let before = m.counters().clone();
+    // sgx-lint: allow(nondeterminism) timing the host's simulation rate is the benchmark
+    let t0 = Instant::now();
+    let cycles = linear_read(&mut m, &v, Width::Bits64, &cfg);
+    let secs = t0.elapsed().as_secs_f64().max(1e-9);
+    let ev = events(&m.counters().delta(&before));
+    eprintln!("bench_events: scan smoke — {cycles:.0} sim cycles, {ev} events in {:.1} ms", secs * 1e3);
+    rows.push(BenchRow { name: "scan-smoke", value: ev as f64 / secs, unit: "events/sec" });
+
+    let doc = document(&commit, &rows);
+    match out_path {
+        Some(p) => {
+            if let Err(e) = std::fs::write(&p, doc.pretty() + "\n") {
+                eprintln!("bench_events: write {}: {e}", p.display());
+                std::process::exit(1);
+            }
+            eprintln!("bench_events: wrote {}", p.display());
+        }
+        None => println!("{}", doc.pretty()),
+    }
+}
+
+/// Assemble the `BENCHMARK_DATA`-style document.
+fn document(commit: &str, rows: &[BenchRow]) -> Value {
+    let benches: Vec<Value> = rows
+        .iter()
+        .map(|r| {
+            Value::Obj(vec![
+                ("name".into(), Value::Str(r.name.into())),
+                // One-shot smoke: no distribution to report yet; PRs that
+                // add repetitions can fill a real spread in.
+                ("value".into(), Value::Num((r.value * 10.0).round() / 10.0)),
+                ("range".into(), Value::Str("± 0".into())),
+                ("unit".into(), Value::Str(r.unit.into())),
+            ])
+        })
+        .collect();
+    Value::Obj(vec![
+        ("repoUrl".into(), Value::Str("https://example.invalid/sgxv2-olap-bench".into())),
+        (
+            "entries".into(),
+            Value::Obj(vec![(
+                "Rust Benchmark".into(),
+                Value::Arr(vec![Value::Obj(vec![
+                    (
+                        "commit".into(),
+                        Value::Obj(vec![
+                            ("id".into(), Value::Str(commit.into())),
+                            ("message".into(), Value::Str("lint robustness harness PR smoke".into())),
+                        ]),
+                    ),
+                    ("tool".into(), Value::Str("cargo".into())),
+                    ("benches".into(), Value::Arr(benches)),
+                ])]),
+            )]),
+        ),
+    ])
+}

@@ -1,0 +1,18 @@
+//! Negative: wrapper indirection into a length-only consumer. The taint
+//! hardening that follows call chains (see `positive/untracked-slice-
+//! taint_4.rs`) must not turn mere pass-through into a finding — the
+//! slice crosses two call edges but no element is ever read.
+
+pub fn build(v: &SimVec<u64>) -> usize {
+    // sgx-lint: allow(untracked-access) setup-phase length probe, no per-element reads
+    let keys = v.as_slice_untracked();
+    note_outer(keys)
+}
+
+fn note_outer(xs: &[u64]) -> usize {
+    note(xs)
+}
+
+fn note(xs: &[u64]) -> usize {
+    xs.len()
+}

@@ -1,0 +1,23 @@
+//! Positive: wrapper indirection — promoted from a `wrap[d2]` robustness
+//! variant of `untracked-slice-taint_1.rs` that the rule originally
+//! missed. The tainted slice passes through two do-nothing forwarding
+//! wrappers before the helper that actually indexes it; the taint must
+//! survive every call edge of the chain.
+
+pub fn build(v: &SimVec<u64>) -> u64 {
+    // sgx-lint: allow(untracked-access) corpus case isolates the cross-function flow
+    let keys = v.as_slice_untracked();
+    helper_outer(keys)
+}
+
+fn helper_outer(keys: &[u64]) -> u64 {
+    helper_inner(keys)
+}
+
+fn helper_inner(keys: &[u64]) -> u64 {
+    helper(keys)
+}
+
+fn helper(keys: &[u64]) -> u64 {
+    keys[0]
+}

@@ -1,0 +1,19 @@
+//! Positive: `let`-chain laundering — promoted from a `seqlen[n3]`
+//! robustness variant of `untracked-slice-taint_1.rs` that the rule
+//! originally missed. The tainted binding is copied through a chain of
+//! aliases at the call site, and the callee launders its parameter the
+//! same way before indexing; the alias closure must track both.
+
+pub fn build(v: &SimVec<u64>) -> u64 {
+    // sgx-lint: allow(untracked-access) corpus case isolates the cross-function flow
+    let raw = v.as_slice_untracked();
+    let hop = raw;
+    let keys = hop;
+    helper(keys)
+}
+
+fn helper(keys: &[u64]) -> u64 {
+    let view = keys;
+    let cursor = view;
+    cursor[0]
+}

@@ -3,6 +3,7 @@
 //! ```text
 //! sgx-lint [--format text|json] [--baseline file.json] [paths...]
 //! sgx-lint --score-corpus <dir>         score the labeled corpus
+//! sgx-lint robustness [flags]           RD-score corpus + variants
 //! ```
 //!
 //! The default scan root is `crates`. `--format json` emits a deterministic
@@ -12,11 +13,19 @@
 //! baseline entry that no longer matches anything is itself reported (rule
 //! `stale-baseline`) so the waiver list cannot rot.
 //!
-//! Exit code 0 = clean (or corpus at 100% TP / 0 FP), 1 = findings (or
-//! corpus misses), 2 = usage error.
+//! The `robustness` subcommand generates semantics-preserving variants of
+//! every corpus case ([`crate::variants`]) and reports rapx-bench-style
+//! robust-detection scores ([`crate::robustness`]). It deliberately
+//! rejects `--baseline` (exit 2): variants are corpus-only and a stale
+//! workspace waiver must never mask an RD regression.
+//!
+//! Exit code 0 = clean (or corpus at 100% TP / 0 FP, or RD at/above
+//! `--floor`), 1 = findings (or corpus misses, or RD below the floor),
+//! 2 = usage error.
 
 use crate::corpus;
 use crate::engine::Finding;
+use crate::robustness;
 use sgx_bench_core::json::Value;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
@@ -42,6 +51,10 @@ pub fn run(args: impl Iterator<Item = String>) -> ExitCode {
     let mut corpus_dir: Option<PathBuf> = None;
     let mut paths: Vec<PathBuf> = Vec::new();
     let mut args = args.peekable();
+    if args.peek().map(String::as_str) == Some("robustness") {
+        args.next();
+        return run_robustness(args);
+    }
     while let Some(a) = args.next() {
         match a.as_str() {
             // Legacy spelling of `--format json`.
@@ -73,7 +86,7 @@ pub fn run(args: impl Iterator<Item = String>) -> ExitCode {
             },
             "--help" | "-h" => {
                 println!(
-                    "usage: sgx-lint [--format text|json] [--baseline file.json] [paths...]\n       sgx-lint --score-corpus <dir>\n\nLints workspace Rust sources for model-integrity violations.\nPer-file rules: untracked-access, nondeterminism, counter-truncation,\npanic-in-library, unsafe-code, swallowed-error.\nWorkspace rules: untracked-slice-taint, counter-conservation,\nfault-tick-coverage, calibration-provenance.\nDefault scan root: crates"
+                    "usage: sgx-lint [--format text|json] [--baseline file.json] [paths...]\n       sgx-lint --score-corpus <dir>\n       sgx-lint robustness [flags]   (see `sgx-lint robustness --help`)\n\nLints workspace Rust sources for model-integrity violations.\nPer-file rules: untracked-access, nondeterminism, counter-truncation,\npanic-in-library, unsafe-code, swallowed-error.\nWorkspace rules: untracked-slice-taint, counter-conservation,\nfault-tick-coverage, calibration-provenance.\nDefault scan root: crates"
                 );
                 return ExitCode::SUCCESS;
             }
@@ -176,6 +189,115 @@ pub fn run(args: impl Iterator<Item = String>) -> ExitCode {
     } else {
         ExitCode::FAILURE
     }
+}
+
+/// The `robustness` subcommand: RD-score the corpus plus generated
+/// variants. See the module docs of [`crate::robustness`] for the model.
+fn run_robustness(mut args: std::iter::Peekable<impl Iterator<Item = String>>) -> ExitCode {
+    let mut opts = robustness::Options::default();
+    let mut corpus_dir = PathBuf::from("crates/sgx-lint/corpus");
+    let mut format = Format::Text;
+    let mut floor: Option<f64> = None;
+    fn parse_num<T: std::str::FromStr>(flag: &str, v: Option<String>) -> Result<T, ExitCode> {
+        v.and_then(|s| s.parse().ok()).ok_or_else(|| {
+            eprintln!("sgx-lint: {flag} needs a number");
+            ExitCode::from(2)
+        })
+    }
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--corpus" => match args.next() {
+                Some(d) => corpus_dir = PathBuf::from(d),
+                None => {
+                    eprintln!("sgx-lint: --corpus needs a directory");
+                    return ExitCode::from(2);
+                }
+            },
+            "--seed" => match parse_num("--seed", args.next()) {
+                Ok(n) => opts.seed = n,
+                Err(c) => return c,
+            },
+            "--depth" => match parse_num("--depth", args.next()) {
+                Ok(n) => opts.depth = n,
+                Err(c) => return c,
+            },
+            "--seqlen" => match parse_num("--seqlen", args.next()) {
+                Ok(n) => opts.seqlen = n,
+                Err(c) => return c,
+            },
+            "--jobs" => match parse_num("--jobs", args.next()) {
+                Ok(n) => opts.jobs = n,
+                Err(c) => return c,
+            },
+            "--floor" => match parse_num("--floor", args.next()) {
+                Ok(n) => floor = Some(n),
+                Err(c) => return c,
+            },
+            "--weaken" => match args.next() {
+                Some(list) => {
+                    opts.weaken.extend(list.split(',').map(str::trim).filter(|s| !s.is_empty()).map(str::to_string))
+                }
+                None => {
+                    eprintln!("sgx-lint: --weaken needs a comma-separated knob list");
+                    return ExitCode::from(2);
+                }
+            },
+            "--emit-variants" => match args.next() {
+                Some(d) => opts.emit_dir = Some(PathBuf::from(d)),
+                None => {
+                    eprintln!("sgx-lint: --emit-variants needs a directory");
+                    return ExitCode::from(2);
+                }
+            },
+            "--format" => match args.next().as_deref() {
+                Some("json") => format = Format::Json,
+                Some("text") => format = Format::Text,
+                other => {
+                    eprintln!(
+                        "sgx-lint: --format needs `text` or `json`, got {}",
+                        other.map_or_else(|| "nothing".to_string(), |o| format!("`{o}`"))
+                    );
+                    return ExitCode::from(2);
+                }
+            },
+            // Workspace waivers must never leak into RD scoring: a stale
+            // baseline entry could silently absorb a variant regression.
+            "--baseline" => {
+                eprintln!(
+                    "sgx-lint: robustness scoring ignores workspace baselines; drop --baseline"
+                );
+                return ExitCode::from(2);
+            }
+            "--help" | "-h" => {
+                println!(
+                    "usage: sgx-lint robustness [--corpus DIR] [--seed N] [--depth N] [--seqlen N]\n                           [--jobs N] [--floor PCT] [--weaken KNOB[,KNOB]]\n                           [--emit-variants DIR] [--format text|json]\n\nGenerates seeded semantics-preserving variants of every corpus case and\nreports rapx-bench-style robust-detection (RD) per rule and per transform.\nExit 1 when --floor is set and total RD falls below it.\nKnown --weaken knobs: taint-indirection, taint-alias."
+                );
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("sgx-lint: robustness: unexpected argument {other}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let report = match robustness::run(&corpus_dir, &opts) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("sgx-lint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    match format {
+        Format::Json => println!("{}", report.json().pretty()),
+        Format::Text => print!("{}", report.table()),
+    }
+    if let Some(f) = floor {
+        if report.rd_percent() < f {
+            eprintln!("sgx-lint: RD {}% below floor {f}%", report.rd_percent());
+            return ExitCode::FAILURE;
+        }
+    }
+    ExitCode::SUCCESS
 }
 
 /// Build the deterministic JSON report document.

@@ -64,8 +64,8 @@ impl Score {
 }
 
 /// Extract the labeled rule from a corpus filename like
-/// `nondeterminism_2.rs`.
-fn labeled_rule(file: &Path) -> Option<String> {
+/// `nondeterminism_2.rs`. Shared with the robustness scorer.
+pub(crate) fn labeled_rule(file: &Path) -> Option<String> {
     let stem = file.file_stem()?.to_str()?;
     let (rule, _n) = stem.rsplit_once('_')?;
     RULES.contains(&rule).then(|| rule.to_string())

@@ -181,13 +181,13 @@ pub(crate) fn test_mask(toks: &[Tok]) -> Vec<bool> {
 }
 
 /// Narrow integer types whose `as` casts truncate u64 counters.
-const NARROW_INTS: [&str; 8] = ["u8", "u16", "u32", "i8", "i16", "i32", "usize", "isize"];
+pub(crate) const NARROW_INTS: [&str; 8] = ["u8", "u16", "u32", "i8", "i16", "i32", "usize", "isize"];
 
 /// Method/function names that conventionally return `Result` in this
 /// workspace and std — discarding them with `let _ =` swallows the error.
 /// Names like `get` that are usually infallible are deliberately absent;
 /// the rule trades recall for a zero false-positive corpus.
-const FALLIBLE_CALLS: [&str; 16] = [
+pub(crate) const FALLIBLE_CALLS: [&str; 16] = [
     "parse",
     "write",
     "write_all",
@@ -261,7 +261,7 @@ fn statement_discards(toks: &[Tok], dot: usize) -> bool {
 }
 
 /// Does this identifier plausibly name a cycle/byte counter?
-fn counter_ish(ident: &str) -> bool {
+pub(crate) fn counter_ish(ident: &str) -> bool {
     let l = ident.to_ascii_lowercase();
     l.contains("cycle") || l.contains("counter") || l.contains("bytes") || l == "elapsed"
 }

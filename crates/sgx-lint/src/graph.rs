@@ -105,6 +105,23 @@ impl Workspace {
             .any(|(l, r)| r == rule && (*l == line || l + 1 == line))
     }
 
+    /// Candidates for a bare call to `name` made from `file`: a same-file
+    /// definition shadows same-named functions elsewhere (mirroring
+    /// Rust's module-local name resolution), so the deep taint walk never
+    /// wanders into an unrelated crate's `helper` just because the names
+    /// collide. Only when the calling file defines no `name` do the
+    /// cross-file candidates apply.
+    pub fn resolve(&self, file: usize, name: &str) -> Vec<(usize, usize)> {
+        let Some(all) = self.fns.get(name) else { return Vec::new() };
+        let local: Vec<(usize, usize)> =
+            all.iter().copied().filter(|&(fi, _)| fi == file).collect();
+        if local.is_empty() {
+            all.clone()
+        } else {
+            local
+        }
+    }
+
     /// Names of `root` and every function it transitively calls *within
     /// the same file*. Used to exempt the fault-engine's own charge paths
     /// from fault-tick-coverage.
@@ -158,6 +175,24 @@ mod tests {
         ]);
         assert_eq!(w.fns["shared"].len(), 2);
         assert_eq!(w.fns["only_a"], [(0, 1)]);
+    }
+
+    #[test]
+    fn resolution_prefers_same_file_definitions() {
+        let w = ws(&[
+            ("crates/a/src/lib.rs", FileClass::Lib, "fn shared() {} fn caller() { shared(); }"),
+            ("crates/b/src/lib.rs", FileClass::Lib, "fn shared() {}"),
+        ]);
+        // From file 0 (which defines `shared`), only the local candidate.
+        assert_eq!(w.resolve(0, "shared"), [(0, 0)]);
+        // From a file with no local definition, every candidate applies.
+        let w2 = ws(&[
+            ("crates/a/src/lib.rs", FileClass::Lib, "fn caller() { shared(); }"),
+            ("crates/b/src/lib.rs", FileClass::Lib, "fn shared() {}"),
+            ("crates/c/src/lib.rs", FileClass::Lib, "fn shared() {}"),
+        ]);
+        assert_eq!(w2.resolve(0, "shared"), [(1, 0), (2, 0)]);
+        assert!(w2.resolve(0, "absent").is_empty());
     }
 
     #[test]

@@ -57,8 +57,10 @@ pub mod corpus;
 pub mod engine;
 pub mod graph;
 pub mod parse;
+pub mod robustness;
 pub mod semantic;
 pub mod tokenizer;
+pub mod variants;
 
 pub use engine::{analyze_source, FileClass, FileReport, Finding, RULES};
 
@@ -149,18 +151,34 @@ pub fn analyze_paths(roots: &[PathBuf]) -> Vec<(PathBuf, FileReport)> {
 /// scorer's entry point. The single file forms its own workspace, so the
 /// semantic rules run in their single-crate fallback modes.
 pub fn analyze_single(label: &str, class: FileClass, src: &str) -> FileReport {
+    analyze_single_cfg(label, class, src, &semantic::Config::default())
+}
+
+/// [`analyze_single`] under an explicit semantic [`semantic::Config`] —
+/// the robustness scorer's entry point (its `--weaken` knobs need to run
+/// the whole corpus under a deliberately degraded rule set).
+pub fn analyze_single_cfg(
+    label: &str,
+    class: FileClass,
+    src: &str,
+    cfg: &semantic::Config,
+) -> FileReport {
     let ws = graph::Workspace::build(vec![(PathBuf::from(label), class, src.to_string())]);
-    finish(ws).pop().map(|(_, r)| r).unwrap_or_default()
+    finish_cfg(ws, cfg).pop().map(|(_, r)| r).unwrap_or_default()
 }
 
 /// Run both passes over a built workspace and merge per-file reports.
 fn finish(ws: graph::Workspace) -> Vec<(PathBuf, FileReport)> {
+    finish_cfg(ws, &semantic::Config::default())
+}
+
+fn finish_cfg(ws: graph::Workspace, cfg: &semantic::Config) -> Vec<(PathBuf, FileReport)> {
     let mut reports: Vec<(PathBuf, FileReport)> = ws
         .files
         .iter()
         .map(|f| (f.path.clone(), engine::analyze_lexed(&f.label, f.class, &f.lexed)))
         .collect();
-    for (fi, finding) in semantic::run(&ws) {
+    for (fi, finding) in semantic::run_cfg(&ws, cfg) {
         let report = &mut reports[fi].1;
         if ws.allowed(fi, finding.line, &finding.rule) {
             report.suppressed += 1;

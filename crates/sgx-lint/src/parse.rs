@@ -53,6 +53,9 @@ pub struct FnItem {
     pub name: String,
     /// 1-based line of the `fn` keyword.
     pub line: u32,
+    /// Token index of the `fn` keyword (the name is the next token). The
+    /// variant generator uses this to slice signatures out of the source.
+    pub kw_tok: usize,
     /// Parameter names in order; a `self` receiver is recorded as `"self"`.
     pub params: Vec<String>,
     /// Token index range `[start, end)` of the body *inside* the braces.
@@ -249,7 +252,7 @@ fn parse_fn(toks: &[Tok], at: usize) -> (FnItem, usize) {
         }
     }
     let calls = if body.1 > body.0 { find_calls(toks, body.0, body.1) } else { Vec::new() };
-    (FnItem { name, line, params, body, calls }, at + 2)
+    (FnItem { name, line, kw_tok: at, params, body, calls }, at + 2)
 }
 
 /// Parse `struct Name { fields }` starting at the `struct` token. Returns

@@ -28,7 +28,7 @@
 
 use crate::engine::{FileClass, Finding};
 use crate::graph::Workspace;
-use crate::parse::{Arg, FnItem};
+use crate::parse::Arg;
 use crate::tokenizer::{Tok, TokKind};
 use std::collections::BTreeSet;
 
@@ -40,11 +40,43 @@ fn p(t: &Tok, c: u8) -> bool {
     t.kind == TokKind::Punct(c)
 }
 
-/// Run every semantic rule. Returns raw `(file index, finding)` pairs —
-/// the caller applies allow-marker suppression.
+/// Tunables for the semantic pass. [`Config::default`] is what every
+/// workspace lint uses; the robustness harness's `--weaken` knobs dial
+/// individual defenses back to their pre-hardening behavior so the CI
+/// gate can prove the RD score actually depends on them.
+#[derive(Clone, Debug)]
+pub struct Config {
+    /// Maximum call edges the taint rule follows from the tainted call
+    /// site. `1` restores the original direct-callee-only behavior that
+    /// wrapper indirection defeats. Wrapping *every* function of a chain
+    /// in `d` forwarding layers multiplies each edge by `d + 1`, so the
+    /// deepest corpus chain (3 edges) at wrap depth 2 needs 9; the
+    /// default keeps one edge of headroom. The visited set bounds the
+    /// walk regardless.
+    pub taint_call_depth: usize,
+    /// Follow `let a = b;` / `let a = &b;` aliases when computing tainted
+    /// locals and consumed parameters. `false` restores the original
+    /// behavior that `let`-chain lengthening defeats.
+    pub taint_aliases: bool,
+}
+
+impl Default for Config {
+    fn default() -> Config {
+        Config { taint_call_depth: 10, taint_aliases: true }
+    }
+}
+
+/// Run every semantic rule under the default [`Config`]. Returns raw
+/// `(file index, finding)` pairs — the caller applies allow-marker
+/// suppression.
 pub fn run(ws: &Workspace) -> Vec<(usize, Finding)> {
+    run_cfg(ws, &Config::default())
+}
+
+/// [`run`] with explicit tunables.
+pub fn run_cfg(ws: &Workspace, cfg: &Config) -> Vec<(usize, Finding)> {
     let mut out = Vec::new();
-    untracked_slice_taint(ws, &mut out);
+    untracked_slice_taint(ws, cfg, &mut out);
     counter_conservation(ws, &mut out);
     fault_tick_coverage(ws, &mut out);
     calibration_provenance(ws, &mut out);
@@ -60,7 +92,7 @@ fn finding(file: &str, line: u32, rule: &str, message: String) -> Finding {
 /// Slice-consuming accessors: a tainted parameter reaching one of these
 /// (or `param[...]` indexing, or a `for … in param` loop) is a hot-loop
 /// read the cost model never sees.
-const SLICE_CONSUMERS: [&str; 14] = [
+pub(crate) const SLICE_CONSUMERS: [&str; 14] = [
     "iter",
     "into_iter",
     "iter_mut",
@@ -77,8 +109,66 @@ const SLICE_CONSUMERS: [&str; 14] = [
     "sort_unstable",
 ];
 
-/// Local `let` bindings whose initializer contains `as_slice_untracked`.
-fn tainted_locals(toks: &[Tok], body: (usize, usize)) -> BTreeSet<String> {
+/// `let [mut] a = [&[mut]] b;` bindings inside `body`, as `(a, b)`
+/// pairs. These are the pure renamings that `let`-chain lengthening
+/// introduces; initializers with any other shape are not aliases.
+fn let_aliases(toks: &[Tok], body: (usize, usize)) -> Vec<(String, String)> {
+    let mut out = Vec::new();
+    let mut i = body.0;
+    while i < body.1 {
+        if !is(&toks[i], "let") {
+            i += 1;
+            continue;
+        }
+        let mut j = i + 1;
+        if toks.get(j).is_some_and(|t| is(t, "mut")) {
+            j += 1;
+        }
+        let Some(name_tok) = toks.get(j) else { break };
+        if name_tok.kind != TokKind::Ident {
+            i += 1;
+            continue;
+        }
+        // Binder directly followed by `=` (alias chains never carry a
+        // type annotation), RHS exactly `[&[mut]] ident ;`.
+        if toks.get(j + 1).is_some_and(|t| p(t, b'='))
+            && !toks.get(j + 2).is_some_and(|t| p(t, b'='))
+        {
+            let mut k = j + 2;
+            while toks.get(k).is_some_and(|t| p(t, b'&') || is(t, "mut")) {
+                k += 1;
+            }
+            if toks.get(k).is_some_and(|t| t.kind == TokKind::Ident)
+                && toks.get(k + 1).is_some_and(|t| p(t, b';'))
+            {
+                out.push((name_tok.text.clone(), toks[k].text.clone()));
+            }
+        }
+        i = j + 1;
+    }
+    out
+}
+
+/// Grow `names` with every `let`-alias of a name already in the set,
+/// to a fixpoint.
+fn close_over_aliases(names: &mut BTreeSet<String>, toks: &[Tok], body: (usize, usize)) {
+    let aliases = let_aliases(toks, body);
+    loop {
+        let mut grew = false;
+        for (name, rhs) in &aliases {
+            if names.contains(rhs) && names.insert(name.clone()) {
+                grew = true;
+            }
+        }
+        if !grew {
+            break;
+        }
+    }
+}
+
+/// Local `let` bindings whose initializer contains `as_slice_untracked`,
+/// plus (when `cfg.taint_aliases`) their transitive `let`-aliases.
+fn tainted_locals(toks: &[Tok], body: (usize, usize), cfg: &Config) -> BTreeSet<String> {
     let mut tainted = BTreeSet::new();
     let mut i = body.0;
     while i < body.1 {
@@ -111,23 +201,50 @@ fn tainted_locals(toks: &[Tok], body: (usize, usize)) -> BTreeSet<String> {
         }
         i = j + 1;
     }
+    if cfg.taint_aliases {
+        close_over_aliases(&mut tainted, toks, body);
+    }
     tainted
 }
 
-/// Does `callee` index or iterate its parameter `param`? Returns a short
-/// description of how.
-fn slice_consumed(toks: &[Tok], mask: &[bool], item: &FnItem, param: &str) -> Option<&'static str> {
+/// How (if at all) does the function at `(cf, cn)` consume its parameter
+/// `pname`: directly (indexing, a slice-consumer method, a `for` loop) —
+/// on the parameter itself or a `let`-alias of it — or by passing it into
+/// another function that does, up to `depth` further call edges.
+/// `depth == 0` checks the body only (the original, pre-robustness
+/// behavior that wrapper indirection defeats).
+fn param_consumed(
+    ws: &Workspace,
+    cf: usize,
+    cn: usize,
+    pname: &str,
+    depth: usize,
+    cfg: &Config,
+    visited: &mut BTreeSet<(usize, usize, String)>,
+) -> Option<String> {
+    if !visited.insert((cf, cn, pname.to_string())) {
+        return None;
+    }
+    let f = &ws.files[cf];
+    let item = &f.items.fns[cn];
+    let toks = &f.lexed.tokens;
+    // Names the parameter is known by inside this body.
+    let mut names: BTreeSet<String> = BTreeSet::new();
+    names.insert(pname.to_string());
+    if cfg.taint_aliases {
+        close_over_aliases(&mut names, toks, item.body);
+    }
     let (s, e) = item.body;
     for i in s..e {
-        if mask.get(i).copied().unwrap_or(false) {
+        if f.mask.get(i).copied().unwrap_or(false) {
             continue;
         }
         let t = &toks[i];
-        if !is(t, param) {
+        if t.kind != TokKind::Ident || !names.contains(&t.text) {
             continue;
         }
         if toks.get(i + 1).is_some_and(|n| p(n, b'[')) {
-            return Some("indexed");
+            return Some("indexed".to_string());
         }
         if toks.get(i + 1).is_some_and(|n| p(n, b'.'))
             && toks
@@ -135,10 +252,35 @@ fn slice_consumed(toks: &[Tok], mask: &[bool], item: &FnItem, param: &str) -> Op
                 .is_some_and(|n| n.kind == TokKind::Ident && SLICE_CONSUMERS.contains(&n.text.as_str()))
             && toks.get(i + 3).is_some_and(|n| p(n, b'('))
         {
-            return Some("iterated");
+            return Some("iterated".to_string());
         }
         if i > 0 && is(&toks[i - 1], "in") {
-            return Some("iterated in a for-loop");
+            return Some("iterated in a for-loop".to_string());
+        }
+    }
+    if depth == 0 {
+        return None;
+    }
+    // Indirect: the parameter (or an alias) handed onward.
+    for call in &item.calls {
+        if f.mask.get(call.tok).copied().unwrap_or(false) {
+            continue;
+        }
+        for (pos, arg) in call.args.iter().enumerate() {
+            let Arg::Ident(n) = arg else { continue };
+            if !names.contains(n) {
+                continue;
+            }
+            for (nf, nn) in ws.resolve(cf, &call.callee) {
+                let next = &ws.files[nf].items.fns[nn];
+                let shift = usize::from(
+                    call.method && next.params.first().is_some_and(|p| p == "self"),
+                );
+                let Some(next_p) = next.params.get(pos + shift) else { continue };
+                if let Some(how) = param_consumed(ws, nf, nn, next_p, depth - 1, cfg, visited) {
+                    return Some(format!("{how} (via `{}`)", call.callee));
+                }
+            }
         }
     }
     None
@@ -147,14 +289,14 @@ fn slice_consumed(toks: &[Tok], mask: &[bool], item: &FnItem, param: &str) -> Op
 /// Rule: untracked-slice-taint. Call sites live in operator-crate library
 /// code (the same scope as the token-level untracked-access rule); the
 /// consuming callee may live anywhere.
-fn untracked_slice_taint(ws: &Workspace, out: &mut Vec<(usize, Finding)>) {
+fn untracked_slice_taint(ws: &Workspace, cfg: &Config, out: &mut Vec<(usize, Finding)>) {
     for (fi, f) in ws.files.iter().enumerate() {
         if f.class != FileClass::OperatorLib {
             continue;
         }
         let toks = &f.lexed.tokens;
         for item in &f.items.fns {
-            let tainted = tainted_locals(toks, item.body);
+            let tainted = tainted_locals(toks, item.body, cfg);
             for call in &item.calls {
                 if f.mask.get(call.tok).copied().unwrap_or(false) {
                     continue;
@@ -168,22 +310,24 @@ fn untracked_slice_taint(ws: &Workspace, out: &mut Vec<(usize, Finding)>) {
                     if !arg_tainted {
                         continue;
                     }
-                    let Some(candidates) = ws.fns.get(&call.callee) else { continue };
                     let mut flagged = false;
-                    for &(cf, cn) in candidates {
-                        let callee_file = &ws.files[cf];
-                        let callee = &callee_file.items.fns[cn];
+                    for (cf, cn) in ws.resolve(fi, &call.callee) {
+                        let callee = &ws.files[cf].items.fns[cn];
                         // Method-call syntax: the receiver consumes the
                         // leading `self` parameter.
                         let shift = usize::from(
                             call.method && callee.params.first().is_some_and(|p| p == "self"),
                         );
                         let Some(pname) = callee.params.get(pos + shift) else { continue };
-                        let how = slice_consumed(
-                            &callee_file.lexed.tokens,
-                            &callee_file.mask,
-                            callee,
+                        let mut visited = BTreeSet::new();
+                        let how = param_consumed(
+                            ws,
+                            cf,
+                            cn,
                             pname,
+                            cfg.taint_call_depth.saturating_sub(1),
+                            cfg,
+                            &mut visited,
                         );
                         if let Some(how) = how {
                             out.push((
@@ -553,6 +697,70 @@ mod tests {
             "pub fn f(v: &SimVec<u64>) { sum(v.as_slice_untracked()) }\npub fn sum(xs: &[u64]) -> u64 { let mut s = 0; for x in xs { s += x; } s }",
         )]);
         assert_eq!(rules(&run(&w)), ["untracked-slice-taint"]);
+    }
+
+    #[test]
+    fn taint_resolution_shadows_foreign_same_named_fns() {
+        // The calling file's own `helper` only takes the length; the
+        // same-named indexing `helper` in another crate must not be
+        // followed — module-local resolution shadows it.
+        let w = ws(&[
+            (
+                "crates/sgx-joins/src/a.rs",
+                FileClass::OperatorLib,
+                "pub fn build(v: &SimVec<u64>) { let keys = v.as_slice_untracked(); helper(keys); }\n\
+                 fn helper(keys: &[u64]) -> usize { keys.len() }",
+            ),
+            (
+                "crates/sgx-scans/src/b.rs",
+                FileClass::OperatorLib,
+                "pub fn helper(keys: &[u64]) -> u64 { keys[0] }",
+            ),
+        ]);
+        let found = run(&w);
+        assert!(
+            !rules(&found).contains(&"untracked-slice-taint"),
+            "foreign same-named fn wrongly attributed: {found:?}"
+        );
+    }
+
+    #[test]
+    fn taint_survives_wrapper_indirection() {
+        // build → helper_w2 → helper_w1 → helper (the consumer): three
+        // call edges from the tainted call site.
+        let src = "pub fn build(v: &SimVec<u64>) { let keys = v.as_slice_untracked(); helper_w2(keys); }\n\
+                   fn helper_w2(keys: &[u64]) -> u64 { helper_w1(keys) }\n\
+                   fn helper_w1(keys: &[u64]) -> u64 { helper(keys) }\n\
+                   fn helper(keys: &[u64]) -> u64 { keys[0] }";
+        let w = ws(&[("crates/sgx-joins/src/a.rs", FileClass::OperatorLib, src)]);
+        let found = run(&w);
+        assert_eq!(rules(&found), ["untracked-slice-taint"], "{found:?}");
+        assert!(found[0].1.message.contains("via"), "{}", found[0].1.message);
+        // The weaken knob restores the pre-hardening blind spot.
+        let weak = Config { taint_call_depth: 1, ..Config::default() };
+        assert!(run_cfg(&w, &weak).is_empty());
+    }
+
+    #[test]
+    fn taint_survives_let_chain_aliases() {
+        // Tainted local laundered through a `let` chain at the call site,
+        // and the parameter laundered through another chain in the callee.
+        let src = "pub fn build(v: &SimVec<u64>) { let k1 = v.as_slice_untracked(); let k2 = k1; consume(k2); }\n\
+                   fn consume(xs: &[u64]) -> u64 { let ys = xs; ys[0] }";
+        let w = ws(&[("crates/sgx-joins/src/a.rs", FileClass::OperatorLib, src)]);
+        assert_eq!(rules(&run(&w)), ["untracked-slice-taint"]);
+        let weak = Config { taint_aliases: false, ..Config::default() };
+        assert!(run_cfg(&w, &weak).is_empty());
+    }
+
+    #[test]
+    fn taint_indirection_tolerates_recursion() {
+        // Mutually recursive pass-through must terminate and stay silent.
+        let src = "pub fn build(v: &SimVec<u64>) { let k = v.as_slice_untracked(); ping(k); }\n\
+                   fn ping(xs: &[u64]) { pong(xs); }\n\
+                   fn pong(xs: &[u64]) { ping(xs); }";
+        let w = ws(&[("crates/sgx-joins/src/a.rs", FileClass::OperatorLib, src)]);
+        assert!(run(&w).is_empty(), "{:?}", run(&w));
     }
 
     #[test]

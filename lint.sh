@@ -5,11 +5,18 @@
 #   ./lint.sh --format json    # machine-readable deterministic report
 #   ./lint.sh crates/sgx-sim   # lint a subtree (no baseline)
 #   ./lint.sh --score-corpus crates/sgx-lint/corpus   # rule self-check
+#   ./lint.sh --robustness [flags]   # RD-score corpus + variants (floor 95)
 #
-# Exit codes: 0 clean, 1 findings (or stale baseline entries), 2 usage error.
+# Exit codes: 0 clean, 1 findings (or stale baseline entries, or RD below
+# the floor), 2 usage error.
 set -eu
 cd "$(dirname "$0")"
 if [ "$#" -eq 0 ]; then
     set -- --baseline lint-baseline.json crates tests
+elif [ "$1" = "--robustness" ]; then
+    # Robustness scoring never reads the workspace baseline; extra flags
+    # (--seed, --weaken, --format json, …) pass straight through.
+    shift
+    set -- robustness --floor 95 "$@"
 fi
 exec cargo run --release -q -p sgx-lint -- "$@"
