@@ -88,6 +88,33 @@ if "$LINT" robustness --baseline lint-baseline.json >/dev/null 2>&1; then
 fi
 rm -rf "$RD_TMP"
 
+SC_TMP=$(mktemp -d)
+
+echo "== ci: lint selfcheck (variant fuzz over pinned clean workspace files, byte-identical)"
+"$LINT" selfcheck --format json > "$SC_TMP/sc1.json"
+"$LINT" selfcheck --format json > "$SC_TMP/sc2.json"
+if ! cmp -s "$SC_TMP/sc1.json" "$SC_TMP/sc2.json"; then
+    echo "ci: FAIL — selfcheck report must be byte-identical across runs" >&2
+    exit 1
+fi
+if ! grep -q '"false_positives": \[\]' "$SC_TMP/sc1.json"; then
+    echo "ci: FAIL — variant of a clean workspace file produced a lint finding (rule false positive)" >&2
+    exit 1
+fi
+
+echo "== ci: lint selfcheck negative check (dirty pin must be a usage error)"
+cat > "$SC_TMP/dirty.rs" <<'EOF'
+pub fn f(x: Option<u64>) -> u64 { x.unwrap() }
+pub fn g() -> u64 { 1 }
+EOF
+SC_CODE=0
+"$LINT" selfcheck "$SC_TMP/dirty.rs" >/dev/null 2>&1 || SC_CODE=$?
+if [ "$SC_CODE" -ne 2 ]; then
+    echo "ci: FAIL — selfcheck on a non-clean file must exit 2 (usage error), got $SC_CODE" >&2
+    exit 1
+fi
+rm -rf "$SC_TMP"
+
 BIN=target/release/all_figures
 MANIFEST=target/figures/manifest.json
 
@@ -195,5 +222,34 @@ if [ ! -f target/figures/fig05.json ]; then
     echo "ci: FAIL — figures before the failure must still be emitted" >&2
     exit 1
 fi
+
+echo "== ci: service tail smoke (byte-identical across two runs and --jobs 1 vs 2)"
+SVC_TMP=$(mktemp -d)
+"$BIN" --only ext_service_tail --scale 256 --reps 1 --jobs 1 >/dev/null
+mkdir -p "$SVC_TMP/run1"
+cp target/figures/ext_service_tail*.json "$SVC_TMP/run1/"
+"$BIN" --only ext_service_tail --scale 256 --reps 1 --jobs 2 >/dev/null
+for f in "$SVC_TMP"/run1/*.json; do
+    name=$(basename "$f")
+    if ! cmp -s "$f" "target/figures/$name"; then
+        echo "ci: FAIL — $name differs across service-tail runs/--jobs" >&2
+        exit 1
+    fi
+done
+
+echo "== ci: service overload negative check (admission control must shed load)"
+SB=target/release/service_bench
+"$SB" --scale 256 --overload 8 --expect-shedding --json "$SVC_TMP/shed1.json" 2>/dev/null
+"$SB" --scale 256 --overload 8 --expect-shedding --json "$SVC_TMP/shed2.json" 2>/dev/null
+if ! cmp -s "$SVC_TMP/shed1.json" "$SVC_TMP/shed2.json"; then
+    echo "ci: FAIL — service_bench report must be byte-identical across runs" >&2
+    exit 1
+fi
+# A service with admission disabled cannot shed: the same check must fail.
+if "$SB" --scale 256 --overload 8 --no-admission --expect-shedding >/dev/null 2>&1; then
+    echo "ci: FAIL — --no-admission under overload must fail the shedding check (rejected=0)" >&2
+    exit 1
+fi
+rm -rf "$SVC_TMP"
 
 echo "== ci: OK"

@@ -13,6 +13,7 @@ pub mod faults;
 pub mod joins;
 pub mod micro;
 pub mod scans;
+pub mod service;
 pub mod table1;
 pub mod tpch;
 
@@ -29,5 +30,6 @@ pub use micro::{fig05_random_access, fig07_histogram};
 pub use scans::{
     fig12_scan_single, fig13_scan_scaling, fig14_selectivity, fig15_linear, fig16_numa_scan,
 };
+pub use service::ext_service_tail;
 pub use table1::table1;
 pub use tpch::fig17_tpch;

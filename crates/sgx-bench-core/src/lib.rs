@@ -39,10 +39,12 @@ pub mod chart;
 pub mod experiments;
 pub mod golden;
 pub mod json;
+pub mod percentile;
 pub mod profiles;
 pub mod report;
 pub mod runner;
 
+pub use percentile::Histogram;
 pub use profiles::{BenchProfile, RunOpts};
 pub use report::{Figure, Series, Stat};
 
@@ -51,6 +53,7 @@ pub use sgx_index;
 pub use sgx_joins;
 pub use sgx_microbench;
 pub use sgx_scans;
+pub use sgx_serve;
 pub use sgx_sim;
 pub use sgx_tpch;
 

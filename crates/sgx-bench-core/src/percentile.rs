@@ -1,0 +1,198 @@
+//! Exact latency percentiles over integer cycle counts.
+//!
+//! The service experiments report tail latency (p50/p95/p99), and tails
+//! are exactly where interpolation lies: averaging the two samples that
+//! straddle a rank invents a latency no query ever saw, and makes the
+//! reported number depend on float rounding. This module implements the
+//! *nearest-rank* definition instead — the percentile is always one of
+//! the recorded values — over a [`BTreeMap`] histogram, so results are
+//! exact, deterministic, and independent of insertion order.
+//!
+//! Nearest-rank: for `n` samples sorted ascending, the `p`-th percentile
+//! (`0 < p <= 100`) is the sample at 1-based rank `ceil(p/100 * n)`.
+//! The rank arithmetic is done in integers (`ceil(p*n/100)` with `p`
+//! scaled to per-mille precision) so no float comparison can flip a rank
+//! on any platform.
+
+use std::collections::BTreeMap;
+
+/// An exact integer-valued latency histogram.
+///
+/// Values are `u64` (simulated cycles); counts are unbounded. Recording
+/// is O(log distinct-values); percentile queries walk the sorted map.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Histogram {
+    counts: BTreeMap<u64, u64>,
+    total: u64,
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Histogram {
+        Histogram::default()
+    }
+
+    /// Record one sample.
+    pub fn record(&mut self, value: u64) {
+        self.record_n(value, 1);
+    }
+
+    /// Record `n` samples of the same value.
+    pub fn record_n(&mut self, value: u64, n: u64) {
+        if n == 0 {
+            return;
+        }
+        *self.counts.entry(value).or_insert(0) += n;
+        self.total += n;
+    }
+
+    /// Total number of recorded samples.
+    pub fn len(&self) -> u64 {
+        self.total
+    }
+
+    /// True when no samples have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.total == 0
+    }
+
+    /// Smallest recorded value.
+    pub fn min(&self) -> Option<u64> {
+        self.counts.keys().next().copied()
+    }
+
+    /// Largest recorded value.
+    pub fn max(&self) -> Option<u64> {
+        self.counts.keys().next_back().copied()
+    }
+
+    /// Fold another histogram into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (&v, &n) in &other.counts {
+            self.record_n(v, n);
+        }
+    }
+
+    /// Exact nearest-rank percentile at per-mille precision: `permille`
+    /// in `1..=1000` (so p95 is `950`). Returns `None` on an empty
+    /// histogram or an out-of-range argument. The result is always one
+    /// of the recorded values — never interpolated.
+    pub fn percentile_permille(&self, permille: u64) -> Option<u64> {
+        if self.total == 0 || permille == 0 || permille > 1000 {
+            return None;
+        }
+        // 1-based rank = ceil(permille/1000 * total), in pure integers.
+        let rank = (permille * self.total).div_ceil(1000);
+        let mut seen = 0u64;
+        for (&v, &n) in &self.counts {
+            seen += n;
+            if seen >= rank {
+                return Some(v);
+            }
+        }
+        // Unreachable: rank <= total and the counts sum to total.
+        None
+    }
+
+    /// Median (nearest-rank p50).
+    pub fn p50(&self) -> Option<u64> {
+        self.percentile_permille(500)
+    }
+
+    /// Nearest-rank p95.
+    pub fn p95(&self) -> Option<u64> {
+        self.percentile_permille(950)
+    }
+
+    /// Nearest-rank p99.
+    pub fn p99(&self) -> Option<u64> {
+        self.percentile_permille(990)
+    }
+}
+
+impl FromIterator<u64> for Histogram {
+    fn from_iter<I: IntoIterator<Item = u64>>(iter: I) -> Histogram {
+        let mut h = Histogram::new();
+        for v in iter {
+            h.record(v);
+        }
+        h
+    }
+}
+
+/// The naive oracle: sort and index. Exported so property tests (and any
+/// future report code that already holds a sorted vector) can share the
+/// single definition of nearest-rank.
+pub fn percentile_sorted(sorted: &[u64], permille: u64) -> Option<u64> {
+    if sorted.is_empty() || permille == 0 || permille > 1000 {
+        return None;
+    }
+    let rank = (permille * sorted.len() as u64).div_ceil(1000);
+    sorted.get(rank as usize - 1).copied()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_and_out_of_range_are_none() {
+        let h = Histogram::new();
+        assert!(h.is_empty());
+        assert_eq!(h.p50(), None);
+        let h: Histogram = [5u64].into_iter().collect();
+        assert_eq!(h.percentile_permille(0), None);
+        assert_eq!(h.percentile_permille(1001), None);
+        assert_eq!(h.percentile_permille(1000), Some(5));
+    }
+
+    #[test]
+    fn single_sample_is_every_percentile() {
+        let h: Histogram = [42u64].into_iter().collect();
+        for p in [1, 500, 950, 990, 1000] {
+            assert_eq!(h.percentile_permille(p), Some(42));
+        }
+    }
+
+    #[test]
+    fn nearest_rank_on_a_known_decade() {
+        // The canonical worked example: 10 samples 10,20,...,100.
+        let h: Histogram = (1..=10u64).map(|i| i * 10).collect();
+        assert_eq!(h.p50(), Some(50), "rank ceil(0.5*10)=5");
+        assert_eq!(h.p95(), Some(100), "rank ceil(0.95*10)=10");
+        assert_eq!(h.p99(), Some(100));
+        assert_eq!(h.percentile_permille(100), Some(10), "p10 -> rank 1");
+        assert_eq!(h.percentile_permille(110), Some(20), "p11 -> rank 2");
+    }
+
+    #[test]
+    fn duplicates_and_merge_agree_with_flat_recording() {
+        let mut a = Histogram::new();
+        a.record_n(7, 3);
+        a.record(1);
+        let mut b = Histogram::new();
+        b.record_n(7, 2);
+        b.record_n(9, 5);
+        let mut merged = a.clone();
+        merged.merge(&b);
+        let flat: Histogram =
+            [7u64, 7, 7, 1, 7, 7, 9, 9, 9, 9, 9].into_iter().collect();
+        assert_eq!(merged, flat);
+        assert_eq!(merged.len(), 11);
+        assert_eq!(merged.min(), Some(1));
+        assert_eq!(merged.max(), Some(9));
+    }
+
+    #[test]
+    fn percentiles_are_recorded_values_and_monotone() {
+        let h: Histogram = [3u64, 1, 4, 1, 5, 9, 2, 6, 5, 3, 5].into_iter().collect();
+        let mut last = 0u64;
+        for p in 1..=1000u64 {
+            let v = h.percentile_permille(p).expect("non-empty");
+            assert!(h.counts.contains_key(&v), "p{p}: {v} must be a recorded value");
+            assert!(v >= last, "percentiles must be monotone in p");
+            last = v;
+        }
+        assert_eq!(h.percentile_permille(1000), h.max());
+    }
+}

@@ -83,6 +83,7 @@ pub fn registry() -> Vec<FigureJob> {
         FigureJob { id: "ablation_swwcb", run: |p| one(ex::ablation_swwcb(p)) },
         FigureJob { id: "ablation_radix_bits", run: |p| one(ex::ablation_radix_bits(p)) },
         FigureJob { id: "ext_aex_storm", run: |p| one(ex::ext_aex_storm(p)) },
+        FigureJob { id: "ext_service_tail", run: ex::ext_service_tail },
     ]
 }
 
@@ -656,13 +657,14 @@ mod tests {
     #[test]
     fn registry_ids_are_unique_and_complete() {
         let jobs = registry();
-        assert_eq!(jobs.len(), 25);
+        assert_eq!(jobs.len(), 26);
         for (i, a) in jobs.iter().enumerate() {
             for b in &jobs[i + 1..] {
                 assert_ne!(a.id, b.id, "duplicate job id");
             }
         }
         assert!(jobs.iter().any(|j| j.id == "ext_aex_storm"));
+        assert!(jobs.iter().any(|j| j.id == "ext_service_tail"));
     }
 
     #[test]

@@ -55,6 +55,10 @@ pub fn run(args: impl Iterator<Item = String>) -> ExitCode {
         args.next();
         return run_robustness(args);
     }
+    if args.peek().map(String::as_str) == Some("selfcheck") {
+        args.next();
+        return run_selfcheck(args);
+    }
     while let Some(a) = args.next() {
         match a.as_str() {
             // Legacy spelling of `--format json`.
@@ -185,6 +189,73 @@ pub fn run(args: impl Iterator<Item = String>) -> ExitCode {
         }
     }
     if findings.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+/// The `selfcheck` subcommand: run the variant generator over pinned
+/// *clean* workspace files as a self-consistency fuzz. Any finding on a
+/// variant of a clean file is a rule false positive by construction.
+/// See [`crate::selfcheck`].
+fn run_selfcheck(mut args: std::iter::Peekable<impl Iterator<Item = String>>) -> ExitCode {
+    let mut opts = crate::selfcheck::Options::default();
+    let mut format = Format::Text;
+    let mut files: Vec<PathBuf> = Vec::new();
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--seed" => match args.next().and_then(|s| s.parse().ok()) {
+                Some(n) => opts.seed = n,
+                None => {
+                    eprintln!("sgx-lint: --seed needs a number");
+                    return ExitCode::from(2);
+                }
+            },
+            "--format" => match args.next().as_deref() {
+                Some("json") => format = Format::Json,
+                Some("text") => format = Format::Text,
+                other => {
+                    eprintln!(
+                        "sgx-lint: --format needs `text` or `json`, got {}",
+                        other.map_or_else(|| "nothing".to_string(), |o| format!("`{o}`"))
+                    );
+                    return ExitCode::from(2);
+                }
+            },
+            "--help" | "-h" => {
+                println!(
+                    "usage: sgx-lint selfcheck [--seed N] [--format text|json] [files...]\n\nRuns the robustness variant generator over pinned clean workspace files.\nEvery transform is semantics-preserving, so a finding on any variant is a\nrule false positive: exit 1. Files that are not clean solo (or that rely\non allow-markers) are usage errors: exit 2.\nDefault file set:\n{}",
+                    crate::selfcheck::DEFAULT_FILES
+                        .iter()
+                        .map(|f| format!("  {f}"))
+                        .collect::<Vec<_>>()
+                        .join("\n")
+                );
+                return ExitCode::SUCCESS;
+            }
+            flag if flag.starts_with('-') => {
+                eprintln!("sgx-lint: selfcheck: unknown flag {flag}");
+                return ExitCode::from(2);
+            }
+            path => files.push(PathBuf::from(path)),
+        }
+    }
+    if files.is_empty() {
+        files = crate::selfcheck::DEFAULT_FILES.iter().map(PathBuf::from).collect();
+    }
+    let report = match crate::selfcheck::run(&files, &opts) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("sgx-lint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    match format {
+        Format::Json => println!("{}", report.json().pretty()),
+        Format::Text => print!("{}", report.table()),
+    }
+    if report.false_positives.is_empty() {
         ExitCode::SUCCESS
     } else {
         ExitCode::FAILURE

@@ -58,6 +58,7 @@ pub mod engine;
 pub mod graph;
 pub mod parse;
 pub mod robustness;
+pub mod selfcheck;
 pub mod semantic;
 pub mod tokenizer;
 pub mod variants;

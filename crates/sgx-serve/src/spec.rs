@@ -1,0 +1,121 @@
+//! Service workload and policy specifications.
+
+use sgx_sim::OcallFaults;
+use sgx_tpch::Query;
+
+/// How a session generates load.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Arrival {
+    /// Open loop: queries arrive at a fixed mean rate regardless of
+    /// completions (the overload-honest model). Gaps jitter
+    /// deterministically in `[0.5, 1.5)` of the mean, like the fault
+    /// engine's AEX gaps.
+    Open {
+        /// Mean cycles between submissions per session.
+        mean_gap_cycles: u64,
+    },
+    /// Closed loop: each session thinks, submits one query, waits for
+    /// the response (or rejection), thinks again.
+    Closed {
+        /// Mean think time in cycles (same `[0.5, 1.5)` jitter).
+        think_cycles: u64,
+    },
+}
+
+/// One tenant: a set of sessions sharing an arrival model, query-class
+/// mix, and latency SLO.
+#[derive(Debug, Clone)]
+pub struct TenantSpec {
+    /// Display name (stable across runs; used in reports).
+    pub name: String,
+    /// Number of concurrent simulated client sessions.
+    pub sessions: usize,
+    /// Arrival model shared by the tenant's sessions.
+    pub arrival: Arrival,
+    /// Weighted query-class mix, e.g. `[(Q3, 3), (Q12, 1)]`.
+    pub mix: Vec<(Query, u32)>,
+    /// Per-query deadline: a query not completed within this many cycles
+    /// of submission is abandoned (and counted `timed_out`).
+    pub deadline_cycles: u64,
+}
+
+/// Admission-control policy for the per-socket queues.
+#[derive(Debug, Clone, Copy)]
+pub struct AdmissionPolicy {
+    /// Master switch — `false` models a naive service that queues
+    /// everything (the negative-check configuration).
+    pub enabled: bool,
+    /// Bounded queue depth per socket; arrivals beyond it are shed.
+    pub queue_cap: usize,
+}
+
+/// Graceful-degradation policy: when to downgrade new queries to the
+/// cheaper (§4.2-optimized, result-identical) plan variant.
+#[derive(Debug, Clone, Copy)]
+pub struct DegradePolicy {
+    /// Master switch.
+    pub enabled: bool,
+    /// Downgrade while the configured EPC-pressure level is at or above
+    /// this threshold (0..=1).
+    pub epc_threshold: f64,
+    /// Also downgrade while the target socket's queue is at or above
+    /// this depth (load-reactive degradation).
+    pub queue_watermark: usize,
+}
+
+/// Full service configuration.
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// Seed for every arrival, mix, and fault stream.
+    pub seed: u64,
+    /// Simulated sockets (each gets its own worker pool and queue).
+    pub sockets: usize,
+    /// Workers per socket (bounded pool).
+    pub workers_per_socket: usize,
+    /// Stop generating arrivals after this simulated time; in-flight and
+    /// queued work is drained to completion.
+    pub horizon_cycles: u64,
+    /// Admission control.
+    pub admission: AdmissionPolicy,
+    /// Degradation policy.
+    pub degrade: DegradePolicy,
+    /// Transient step-kill faults ([`OcallFaults`] semantics: per-attempt
+    /// failure probability, bounded retries, capped exponential backoff).
+    /// `None` disables fault injection.
+    pub faults: Option<OcallFaults>,
+    /// Ambient EPC-pressure level (0..=1) the degradation policy reacts
+    /// to. The level itself does not change service times — the
+    /// [`crate::CostTable`] calibrated at this stress point carries that.
+    pub epc_pressure_level: f64,
+}
+
+impl ServiceConfig {
+    /// A small sane default: one socket, 4 workers, admission on with a
+    /// 16-deep queue, degradation armed at 0.7 EPC pressure, no faults.
+    pub fn new(seed: u64) -> ServiceConfig {
+        ServiceConfig {
+            seed,
+            sockets: 1,
+            workers_per_socket: 4,
+            horizon_cycles: 50_000_000,
+            admission: AdmissionPolicy { enabled: true, queue_cap: 16 },
+            degrade: DegradePolicy { enabled: true, epc_threshold: 0.7, queue_watermark: 12 },
+            faults: None,
+            epc_pressure_level: 0.0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_is_sane() {
+        let c = ServiceConfig::new(1);
+        assert!(c.sockets >= 1 && c.workers_per_socket >= 1);
+        assert!(c.admission.enabled && c.admission.queue_cap > 0);
+        assert!(c.degrade.enabled);
+        assert!(c.faults.is_none());
+    }
+}

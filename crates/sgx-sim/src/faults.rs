@@ -38,7 +38,7 @@
 const MAX_TRACE_EVENTS: usize = 1 << 16;
 
 /// Cap on the exponential-backoff doubling (2^6 = 64× the base backoff).
-const MAX_BACKOFF_EXP: u32 = 6;
+pub const MAX_BACKOFF_EXP: u32 = 6;
 
 /// Stream tags separating the per-class random sequences drawn from one
 /// seed (arbitrary odd constants).
@@ -88,6 +88,42 @@ pub struct FaultProfile {
     pub epc_pressure: Option<EpcPressure>,
     /// Transient OCALL failures, if enabled.
     pub ocall: Option<OcallFaults>,
+}
+
+impl OcallFaults {
+    /// Backoff wait in simulated cycles before retry `attempt` (1-based):
+    /// `backoff_cycles * 2^min(attempt-1, MAX_BACKOFF_EXP)` — the SDK's
+    /// escalating sleep, capped so the schedule stays bounded.
+    pub fn backoff_wait(&self, attempt: u32) -> f64 {
+        let exp = attempt.saturating_sub(1).min(MAX_BACKOFF_EXP);
+        // Shift-safe: the exponent is clamped to MAX_BACKOFF_EXP (6).
+        self.backoff_cycles * (1u64 << exp) as f64
+    }
+
+    /// Total simulated cost of one OCALL under this fault setting that
+    /// suffered `retries` transient failures (see [`ocall_cost`]).
+    pub fn call_cost(&self, retries: u32, transition_cycles: f64) -> f64 {
+        ocall_cost(retries, transition_cycles, self.backoff_cycles)
+    }
+
+    /// Deterministically decide how many transient failures an attempt
+    /// stream starting at index `k` suffers, mirroring the engine's
+    /// [`FaultEngine::plan_ocall`] semantics exactly: one uniform draw per
+    /// attempt, bounded by `max_retries`, with the final forced-through
+    /// attempt still consuming a draw. Returns the retry count; the stream
+    /// position always advances by `retries + 1` indices, so external
+    /// schedulers (e.g. `sgx-serve`) can replay the same schedule the
+    /// machine would.
+    pub fn draw_retries(&self, seed: u64, stream: u64, k: u64) -> u32 {
+        let mut retries = 0u32;
+        while retries < self.max_retries {
+            if unit(mix(seed, stream, k + retries as u64)) >= self.failure_prob {
+                return retries;
+            }
+            retries += 1;
+        }
+        retries
+    }
 }
 
 impl FaultProfile {
@@ -172,10 +208,26 @@ fn unit(bits: u64) -> f64 {
     (bits >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
 }
 
+/// Public clock/stream hook: one 64-bit draw from the deterministic
+/// per-stream sequence the fault engine itself uses (SplitMix64 finalizer
+/// over `(seed, stream, k)`). Pure function — schedulers layered on the
+/// simulator (arrival processes, per-tenant mixes in `sgx-serve`) draw
+/// from here so their randomness composes with fault schedules without
+/// sharing state.
+pub fn stream_draw(seed: u64, stream: u64, k: u64) -> u64 {
+    mix(seed, stream, k)
+}
+
+/// [`stream_draw`] mapped to a uniform f64 in `[0, 1)`.
+pub fn stream_unit(seed: u64, stream: u64, k: u64) -> f64 {
+    unit(mix(seed, stream, k))
+}
+
 /// Total simulated cost of one OCALL that needed `retries` redo round
 /// trips: the initial crossing pair, one more pair per retry, plus the
-/// capped exponential backoff waits.
-pub(crate) fn ocall_cost(retries: u32, transition_cycles: f64, backoff_cycles: f64) -> f64 {
+/// capped exponential backoff waits. Public so service schedulers can
+/// price boundary crossings with the exact machine formula.
+pub fn ocall_cost(retries: u32, transition_cycles: f64, backoff_cycles: f64) -> f64 {
     let mut cost = 2.0 * transition_cycles;
     for attempt in 0..retries {
         cost += 2.0 * transition_cycles;
@@ -458,5 +510,77 @@ mod tests {
         assert_eq!(base, 20_000.0);
         assert_eq!(one, 41_000.0);
         assert_eq!(two, 63_000.0);
+    }
+
+    #[test]
+    fn backoff_schedule_is_bounded_exponential() {
+        let of = OcallFaults { failure_prob: 1.0, max_retries: 32, backoff_cycles: 100.0 };
+        // Doubles per attempt, then saturates at 2^MAX_BACKOFF_EXP = 64x.
+        let expected = [100.0, 200.0, 400.0, 800.0, 1_600.0, 3_200.0, 6_400.0];
+        for (i, &want) in expected.iter().enumerate() {
+            assert_eq!(of.backoff_wait(i as u32 + 1), want, "attempt {}", i + 1);
+        }
+        for attempt in 8..40 {
+            assert_eq!(of.backoff_wait(attempt), 6_400.0, "cap must hold at attempt {attempt}");
+        }
+        // The closed-form cost is the sum of crossing pairs plus exactly
+        // these waits: each extra retry adds one round trip + one wait.
+        let t = 10_000.0;
+        for retries in 1..=12u32 {
+            let delta = of.call_cost(retries, t) - of.call_cost(retries - 1, t);
+            assert_eq!(delta, 2.0 * t + of.backoff_wait(retries));
+        }
+    }
+
+    #[test]
+    fn certain_failure_always_hits_the_retry_bound() {
+        let mut m = Machine::new(scaled_profile(), Setting::SgxDataInEnclave);
+        m.install_faults(FaultProfile::new(5).with_ocall_faults(1.0, 5, 1_000.0));
+        for _ in 0..16 {
+            assert_eq!(m.ocall(), 5, "p=1.0 must exhaust the bound on every call");
+        }
+        assert_eq!(m.counters().ocall_retries, 16 * 5);
+        assert_eq!(m.counters().transitions, 2 * (16 + 16 * 5));
+    }
+
+    #[test]
+    fn draw_retries_replays_the_engine_schedule() {
+        // The public hook must reproduce the machine's own plan: same seed,
+        // same stream, cursor advancing by retries+1 per call.
+        let profile = FaultProfile::new(11).with_ocall_faults(0.6, 3, 2_000.0);
+        let mut m = Machine::new(scaled_profile(), Setting::SgxDataInEnclave);
+        m.install_faults(profile.clone());
+        let engine: Vec<u32> = (0..64).map(|_| m.ocall()).collect();
+        let of = profile.ocall.unwrap_or(OcallFaults {
+            failure_prob: 0.0,
+            max_retries: 0,
+            backoff_cycles: 0.0,
+        });
+        let mut k = 0u64;
+        let replayed: Vec<u32> = (0..64)
+            .map(|_| {
+                let r = of.draw_retries(profile.seed, STREAM_OCALL, k);
+                k += r as u64 + 1;
+                r
+            })
+            .collect();
+        assert_eq!(engine, replayed);
+        assert!(replayed.iter().any(|&r| r > 0), "p=0.6 must produce retries");
+    }
+
+    #[test]
+    fn fault_trace_is_byte_deterministic_for_one_profile_and_seed() {
+        // Two runs with the same (profile, seed) must render the identical
+        // byte sequence — the trace is part of the reproducibility surface.
+        let run = || {
+            let mut m = Machine::new(scaled_profile(), Setting::SgxDataInEnclave);
+            m.install_faults(storm(0xD15EA5E));
+            workload(&mut m);
+            format!("{:?}", m.fault_trace())
+        };
+        let a = run();
+        let b = run();
+        assert!(!a.is_empty() && a.contains("Interrupt"));
+        assert_eq!(a.as_bytes(), b.as_bytes(), "trace bytes must replay exactly");
     }
 }

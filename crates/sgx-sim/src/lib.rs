@@ -52,7 +52,10 @@ pub mod sync;
 
 pub use config::HwConfig;
 pub use counters::Counters;
-pub use faults::{AexStorm, EpcPressure, FaultEvent, FaultKind, FaultProfile, OcallFaults};
+pub use faults::{
+    ocall_cost, stream_draw, stream_unit, AexStorm, EpcPressure, FaultEvent, FaultKind,
+    FaultProfile, OcallFaults, MAX_BACKOFF_EXP,
+};
 pub use machine::{AccessKind, Core, Machine, PhaseStats, StreamReader, StreamWriter};
 pub use mem::{ExecMode, Region, Setting, SimVec};
 pub use profile::{CategoryCycles, CostCategory, PhaseGuard, PhaseProfile, Profile};

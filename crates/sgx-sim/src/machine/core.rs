@@ -88,6 +88,14 @@ impl Machine {
         }
     }
 
+    /// Total simulated bytes handed out by the bump allocators across
+    /// all regions — the allocation high-water mark. Nothing is ever
+    /// freed, so this is also the footprint the SGXv1-style pager (and
+    /// the EPC pressure balloon) prices pages against.
+    pub fn allocated_bytes(&self) -> u64 {
+        self.allocs.iter().map(|a| a.used).sum()
+    }
+
     /// Push a named phase scope for cycle attribution (see
     /// [`crate::profile`]); the scope ends when the returned guard drops.
     /// Flushes the pending counter delta first, so the push boundary is

@@ -14,6 +14,7 @@ pub mod aggregate;
 pub mod gen;
 pub mod ops;
 pub mod queries;
+pub mod service;
 
 pub use aggregate::{group_count, reference_group_count, GroupCounts};
 pub use gen::{date, generate, TpchDb};
@@ -21,3 +22,4 @@ pub use queries::{
     q1_pricing_summary, q6_forecast_revenue, reference_count, run_query, Query, QueryConfig,
     QueryStats,
 };
+pub use service::{cost_estimate, ServiceJob, StepReport};

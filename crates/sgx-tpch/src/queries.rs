@@ -12,8 +12,10 @@ use sgx_joins::rho::rho_join;
 use sgx_joins::{JoinConfig, JoinStats, Row};
 use sgx_sim::{Machine, SimVec};
 
-/// Query identifiers of the paper's workload.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+/// Query identifiers of the paper's workload. Ordered/hashable so
+/// service layers can key per-class tables (latency histograms, cost
+/// tables) on the query class.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum Query {
     /// Shipping priority (customer ⋈ orders ⋈ lineitem).
     Q3,
@@ -86,7 +88,9 @@ pub fn run_query(machine: &mut Machine, db: &TpchDb, q: Query, cfg: &QueryConfig
 }
 
 /// RHO join sized for the build side, materializing unless `count_only`.
-fn join(
+/// Shared with the stepped service plans in [`crate::service`] so both
+/// execution styles price the join identically.
+pub(crate) fn join(
     machine: &mut Machine,
     build: &SimVec<Row>,
     probe: &SimVec<Row>,
