@@ -51,6 +51,34 @@ if ! grep -q '"rule": "counter-conservation"' "$LINT_TMP/inject.json"; then
     exit 1
 fi
 
+echo "== ci: lint charge-escape negative check (injected choke-point bypass)"
+# Copy the machine crate to scratch, verify the workspace+scratch scan is
+# clean, then inject a `cycles +=` outside the `Core::commit` closure into
+# the scratch copy: the dataflow rule must flag the bypass.
+SIM_TMP=$(mktemp -d)
+cp -r crates/sgx-sim "$SIM_TMP/sgx-sim"
+if ! "$LINT" --baseline lint-baseline.json crates tests "$SIM_TMP/sgx-sim" >/dev/null 2>&1; then
+    echo "ci: FAIL — pristine scratch copy of sgx-sim must lint clean alongside the workspace" >&2
+    exit 1
+fi
+cat >> "$SIM_TMP/sgx-sim/src/machine/hierarchy.rs" <<'EOF'
+
+impl<'m> Core<'m> {
+    pub(super) fn turbo_bump(&mut self) {
+        self.cycles += 7.0;
+    }
+}
+EOF
+if "$LINT" --format json --baseline lint-baseline.json crates tests "$SIM_TMP/sgx-sim" > "$LINT_TMP/bypass.json" 2>&1; then
+    echo "ci: FAIL — injected commit bypass must exit nonzero" >&2
+    exit 1
+fi
+if ! grep -q '"rule": "charge-escape"' "$LINT_TMP/bypass.json"; then
+    echo "ci: FAIL — injected commit bypass must surface as charge-escape" >&2
+    exit 1
+fi
+rm -rf "$SIM_TMP"
+
 echo "== ci: lint stale-baseline self-check"
 cat > "$LINT_TMP/stale.json" <<'EOF'
 {"baseline": [{"path": "crates/does-not-exist.rs", "rule": "unsafe-code", "line": 1, "reason": "stale entry for the CI self-check"}]}
@@ -76,6 +104,18 @@ if ! cmp -s "$RD_TMP/rd1.json" "$RD_TMP/rd4.json"; then
     echo "ci: FAIL — robustness report must be byte-identical across --jobs" >&2
     exit 1
 fi
+for rule in charge-escape des-invariant; do
+    if ! grep -q "\"rule\": \"$rule\"" "$RD_TMP/rd1.json"; then
+        echo "ci: FAIL — robustness report is missing the $rule row" >&2
+        exit 1
+    fi
+done
+for kind in alias dyncall xsplit; do
+    if ! grep -q "\"kind\": \"$kind\"" "$RD_TMP/rd1.json"; then
+        echo "ci: FAIL — robustness report is missing the $kind transform row" >&2
+        exit 1
+    fi
+done
 
 echo "== ci: lint robustness negative check (weakened rules must fail the floor)"
 if "$LINT" robustness --floor "$RD_FLOOR" --weaken taint-indirection,taint-alias >/dev/null 2>&1; then

@@ -7,6 +7,9 @@
 //!
 //! * `lint-workspace` — wall-clock of a full `sgx-lint` pass over
 //!   `crates/` (ms);
+//! * `dataflow-pass` — facts/sec of the sgx-lint dataflow engine alone
+//!   (field writes, receiver/type aliases, enum defs, variant uses) over
+//!   the workspace token streams;
 //! * `join-smoke` — simulator events/sec while running the PHT join on a
 //!   small relation pair;
 //! * `scan-smoke` — simulator events/sec for a parallel linear read;
@@ -77,6 +80,34 @@ fn main() {
     let files = reports.len();
     eprintln!("bench_events: lint pass over {files} files in {lint_ms:.1} ms");
     rows.push(BenchRow { name: "lint-workspace", value: lint_ms, unit: "ms" });
+
+    // --- dataflow pass: fact-extraction rate of the lint's intraprocedural
+    // dataflow engine over the workspace token streams (tokenization is
+    // excluded — this isolates the pass the semantic rules lean on).
+    let sources: Vec<String> = sgx_lint::collect_rust_files(&PathBuf::from("crates"))
+        .into_iter()
+        .filter_map(|p| std::fs::read_to_string(p).ok())
+        .collect();
+    let lexed: Vec<_> = sources.iter().map(|s| sgx_lint::tokenizer::tokenize(s)).collect();
+    // sgx-lint: allow(nondeterminism) timing the dataflow pass is the benchmark
+    let t0 = Instant::now();
+    let mut facts = 0u64;
+    for lx in &lexed {
+        let toks = &lx.tokens;
+        let span = (0, toks.len());
+        facts += sgx_lint::dataflow::field_writes(toks, span).len() as u64;
+        facts += sgx_lint::dataflow::receiver_aliases(toks, span).len() as u64;
+        facts += sgx_lint::dataflow::type_aliases(toks).len() as u64;
+        facts += sgx_lint::dataflow::parse_enums(toks).len() as u64;
+        facts += sgx_lint::dataflow::variant_uses(toks).len() as u64;
+    }
+    let secs = t0.elapsed().as_secs_f64().max(1e-9);
+    eprintln!(
+        "bench_events: dataflow pass — {facts} facts from {} files in {:.1} ms",
+        lexed.len(),
+        secs * 1e3
+    );
+    rows.push(BenchRow { name: "dataflow-pass", value: facts as f64 / secs, unit: "events/sec" });
 
     // --- PHT join smoke: events/sec at a small, fixed scale.
     let mut m = Machine::new(scaled_profile(), Setting::SgxDataInEnclave);
@@ -201,7 +232,7 @@ fn document(commit: &str, rows: &[BenchRow]) -> Value {
                         "commit".into(),
                         Value::Obj(vec![
                             ("id".into(), Value::Str(commit.into())),
-                            ("message".into(), Value::Str("fault-tolerant service model PR smoke".into())),
+                            ("message".into(), Value::Str("charge-integrity dataflow lint PR smoke".into())),
                         ]),
                     ),
                     ("tool".into(), Value::Str("cargo".into())),

@@ -1,0 +1,25 @@
+//! Negative: every compound charge either is the `commit` choke point's
+//! own implementation or reaches it through an in-set call, and `reset`
+//! uses plain `=` — a reset/install, not a charge.
+// sgx-lint: charge-module
+
+pub struct Core {
+    pub cycles: f64,
+    pub wall: f64,
+}
+
+impl Core {
+    pub fn commit(&mut self, n: f64) {
+        self.cycles += n;
+    }
+
+    pub fn charge(&mut self, n: f64) {
+        self.wall += n;
+        self.commit(n);
+    }
+
+    pub fn reset(&mut self) {
+        self.cycles = 0.0;
+        self.wall = 0.0;
+    }
+}

@@ -1,0 +1,13 @@
+//! Negative: the same leaking shape as the positive case, but the file
+//! never opts into the charge-module set — the rule is pragma-scoped and
+//! must stay silent on unopted code.
+
+pub struct Core {
+    pub cycles: f64,
+}
+
+impl Core {
+    pub fn leak(&mut self, n: f64) {
+        self.cycles += n;
+    }
+}

@@ -1,0 +1,31 @@
+//! Negative: charges arrive through a trait object and a `&mut`
+//! reborrow, and every field is still surfaced outside the struct's own
+//! impl — fully conserved; indirection alone is not a finding.
+
+pub struct Counters {
+    pub loads: u64,
+    pub stores: u64,
+}
+
+pub trait Sink {
+    fn bump(&self, c: &mut Counters);
+}
+
+pub struct Probe;
+
+impl Sink for Probe {
+    fn bump(&self, c: &mut Counters) {
+        let led: &mut Counters = c;
+        led.loads += 1;
+        led.stores += 1;
+    }
+}
+
+pub fn charge(c: &mut Counters) {
+    let sink: &dyn Sink = &Probe;
+    sink.bump(c);
+}
+
+pub fn figure(c: &Counters) -> u64 {
+    c.loads + c.stores
+}

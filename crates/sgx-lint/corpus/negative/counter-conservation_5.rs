@@ -1,0 +1,25 @@
+//! Negative: an alias impl carries bookkeeping reads, but every bin is
+//! also surfaced externally — alias resolution must not turn legitimate
+//! attribution into a finding.
+
+pub struct CategoryCycles {
+    pub mee: f64,
+    pub dram: f64,
+}
+
+pub type Ledger = CategoryCycles;
+
+impl Ledger {
+    pub fn total(&self) -> f64 {
+        self.mee + self.dram
+    }
+}
+
+pub fn charge(c: &mut CategoryCycles) {
+    c.mee += 1.0;
+    c.dram += 1.0;
+}
+
+pub fn figure(c: &CategoryCycles) -> f64 {
+    c.mee + c.dram
+}

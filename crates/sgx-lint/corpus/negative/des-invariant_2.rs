@@ -1,0 +1,30 @@
+//! Negative: an unhandled constructed event and an unreconciled counter,
+//! but the file never opts into the des-module set — the rule is
+//! pragma-scoped and must stay silent on unopted code.
+
+pub enum EvKind {
+    Arrive,
+    Cancel,
+}
+
+pub struct QueueCounters {
+    pub retries: u64,
+}
+
+pub struct Sim {
+    pub c: QueueCounters,
+}
+
+impl Sim {
+    pub fn requeue(&mut self, q: &mut Vec<EvKind>) {
+        self.c.retries += 1;
+        q.push(EvKind::Cancel);
+    }
+
+    pub fn step(&mut self, ev: EvKind) -> u64 {
+        match ev {
+            EvKind::Arrive => 1,
+            _ => 0,
+        }
+    }
+}

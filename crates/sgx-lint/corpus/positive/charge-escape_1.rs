@@ -1,0 +1,30 @@
+//! Positive: `leak` compound-charges `cycles` without ever reaching the
+//! `commit` choke point. `resolve` performs the same kind of mutation but
+//! routes through `commit`, and `apply` is `commit`'s own implementation —
+//! both stay clean; only the bypass fires.
+// sgx-lint: charge-module
+
+pub struct Core {
+    pub cycles: f64,
+    pub pending: f64,
+}
+
+impl Core {
+    pub fn commit(&mut self, n: f64) {
+        self.cycles += n;
+        self.apply(n);
+    }
+
+    fn apply(&mut self, n: f64) {
+        self.pending -= n;
+    }
+
+    pub fn resolve(&mut self, n: f64) {
+        self.cycles += n;
+        self.commit(n);
+    }
+
+    pub fn leak(&mut self, n: f64) {
+        self.cycles += n;
+    }
+}

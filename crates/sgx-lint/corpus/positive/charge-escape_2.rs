@@ -1,0 +1,12 @@
+//! Positive: a charge-module file whose set defines no `commit` at all —
+//! every charge site is an escape by definition. `advance` hits the wall
+//! clock directly and there is no choke point for it to reach.
+// sgx-lint: charge-module
+
+pub struct Clock {
+    pub wall: f64,
+}
+
+pub fn advance(c: &mut Clock, dt: f64) {
+    c.wall += dt;
+}

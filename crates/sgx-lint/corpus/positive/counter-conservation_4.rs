@@ -1,0 +1,26 @@
+//! Positive: `spills` is charged, but its only read hides inside
+//! `impl CountersAlias` — a type alias of `Counters`. Alias resolution
+//! attributes that impl to the struct itself, so the read is own-impl
+//! bookkeeping, not attribution: the alias cannot launder a dead counter.
+
+pub struct Counters {
+    pub loads: u64,
+    pub spills: u64,
+}
+
+pub type CountersAlias = Counters;
+
+impl CountersAlias {
+    pub fn accesses(&self) -> u64 {
+        self.loads + self.spills
+    }
+}
+
+pub fn charge(c: &mut Counters) {
+    c.loads += 1;
+    c.spills += 1;
+}
+
+pub fn figure(c: &Counters) -> u64 {
+    c.loads
+}

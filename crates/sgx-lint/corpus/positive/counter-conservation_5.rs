@@ -1,0 +1,26 @@
+//! Positive: the bookkeeping read sits behind a two-hop alias chain
+//! (`BinsView = Bins = CategoryCycles`); resolution follows the chain, so
+//! `upi` is still only read inside the ledger's own impl — unattributed.
+
+pub struct CategoryCycles {
+    pub mee: f64,
+    pub upi: f64,
+}
+
+pub type Bins = CategoryCycles;
+pub type BinsView = Bins;
+
+impl BinsView {
+    pub fn total(&self) -> f64 {
+        self.mee + self.upi
+    }
+}
+
+pub fn charge(c: &mut CategoryCycles) {
+    c.mee += 1.0;
+    c.upi += 1.0;
+}
+
+pub fn figure(c: &CategoryCycles) -> f64 {
+    c.mee
+}

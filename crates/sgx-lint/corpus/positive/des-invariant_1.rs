@@ -1,0 +1,22 @@
+//! Positive: `EvKind::Cancel` is enqueued but the event loop only ever
+//! matches it through the wildcard — a silently dropped event class the
+//! counters can never reconcile.
+// sgx-lint: des-module
+
+pub enum EvKind {
+    Arrive,
+    Finish,
+    Cancel,
+}
+
+pub fn seed_queue(q: &mut Vec<EvKind>) {
+    q.push(EvKind::Arrive);
+    q.push(EvKind::Cancel);
+}
+
+pub fn step(ev: EvKind) -> u64 {
+    match ev {
+        EvKind::Arrive => 1,
+        _ => 0,
+    }
+}

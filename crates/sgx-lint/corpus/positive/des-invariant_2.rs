@@ -1,0 +1,27 @@
+//! Positive: `retries` is bumped on the requeue path but no `reconcile`
+//! conservation check ever reads it — an unreconciled counter that can
+//! leak or double-count events undetected.
+// sgx-lint: des-module
+
+pub struct QueueCounters {
+    pub done: u64,
+    pub retries: u64,
+}
+
+pub struct Sim {
+    pub c: QueueCounters,
+}
+
+impl Sim {
+    pub fn complete(&mut self) {
+        self.c.done += 1;
+    }
+
+    pub fn requeue(&mut self) {
+        self.c.retries += 1;
+    }
+
+    pub fn reconcile(&self, submitted: u64) -> bool {
+        self.c.done == submitted
+    }
+}

@@ -1,0 +1,9 @@
+//! Positive: the DES draws jitter from an ambient entropy source
+//! (`OsRng`) instead of its seeded stream — replays and `--jobs` shards
+//! would diverge.
+// sgx-lint: des-module
+
+pub fn jitter(seed: u64) -> u64 {
+    let draw = OsRng.next_u64();
+    seed ^ draw
+}

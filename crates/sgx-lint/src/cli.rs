@@ -90,7 +90,7 @@ pub fn run(args: impl Iterator<Item = String>) -> ExitCode {
             },
             "--help" | "-h" => {
                 println!(
-                    "usage: sgx-lint [--format text|json] [--baseline file.json] [paths...]\n       sgx-lint --score-corpus <dir>\n       sgx-lint robustness [flags]   (see `sgx-lint robustness --help`)\n\nLints workspace Rust sources for model-integrity violations.\nPer-file rules: untracked-access, nondeterminism, counter-truncation,\npanic-in-library, unsafe-code, swallowed-error.\nWorkspace rules: untracked-slice-taint, counter-conservation,\nfault-tick-coverage, calibration-provenance.\nDefault scan root: crates"
+                    "usage: sgx-lint [--format text|json] [--baseline file.json] [paths...]\n       sgx-lint --score-corpus <dir>\n       sgx-lint robustness [flags]   (see `sgx-lint robustness --help`)\n\nLints workspace Rust sources for model-integrity violations.\nPer-file rules: untracked-access, nondeterminism, counter-truncation,\npanic-in-library, unsafe-code, swallowed-error.\nWorkspace rules: untracked-slice-taint, counter-conservation,\nfault-tick-coverage, calibration-provenance, charge-escape,\ndes-invariant.\nDefault scan root: crates"
                 );
                 return ExitCode::SUCCESS;
             }
@@ -225,7 +225,7 @@ fn run_selfcheck(mut args: std::iter::Peekable<impl Iterator<Item = String>>) ->
             },
             "--help" | "-h" => {
                 println!(
-                    "usage: sgx-lint selfcheck [--seed N] [--format text|json] [files...]\n\nRuns the robustness variant generator over pinned clean workspace files.\nEvery transform is semantics-preserving, so a finding on any variant is a\nrule false positive: exit 1. Files that are not clean solo (or that rely\non allow-markers) are usage errors: exit 2.\nDefault file set:\n{}",
+                    "usage: sgx-lint selfcheck [--seed N] [--format text|json] [files...]\n\nRuns the robustness variant generator over pinned clean workspace files.\nEvery transform is semantics-preserving and keeps marker/pragma line\nadjacency, so a finding on any variant is a rule false positive: exit 1\n(marker-bearing files are in scope). Files that are not clean solo are\nusage errors: exit 2.\nDefault file set:\n{}",
                     crate::selfcheck::DEFAULT_FILES
                         .iter()
                         .map(|f| format!("  {f}"))
@@ -341,7 +341,7 @@ fn run_robustness(mut args: std::iter::Peekable<impl Iterator<Item = String>>) -
             }
             "--help" | "-h" => {
                 println!(
-                    "usage: sgx-lint robustness [--corpus DIR] [--seed N] [--depth N] [--seqlen N]\n                           [--jobs N] [--floor PCT] [--weaken KNOB[,KNOB]]\n                           [--emit-variants DIR] [--format text|json]\n\nGenerates seeded semantics-preserving variants of every corpus case and\nreports rapx-bench-style robust-detection (RD) per rule and per transform.\nExit 1 when --floor is set and total RD falls below it.\nKnown --weaken knobs: taint-indirection, taint-alias."
+                    "usage: sgx-lint robustness [--corpus DIR] [--seed N] [--depth N] [--seqlen N]\n                           [--jobs N] [--floor PCT] [--weaken KNOB[,KNOB]]\n                           [--emit-variants DIR] [--format text|json]\n\nGenerates seeded semantics-preserving variants of every corpus case and\nreports rapx-bench-style robust-detection (RD) per rule and per transform.\nExit 1 when --floor is set and total RD falls below it.\nKnown --weaken knobs: taint-indirection (cap taint walk depth),\ntaint-alias (disable alias resolution in taint and conservation).\n--emit-variants writes one directory per variant: {{case}}__{{label}}/<file>."
                 );
                 return ExitCode::SUCCESS;
             }

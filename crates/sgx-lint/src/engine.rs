@@ -5,9 +5,10 @@ use crate::tokenizer::{tokenize, Comment, Lexed, Tok, TokKind};
 use std::collections::BTreeMap;
 
 /// The rule names, in reporting order. The first six are token-level
-/// (this module); the last four are semantic, backed by the cross-file
-/// call graph ([`crate::semantic`]).
-pub const RULES: [&str; 10] = [
+/// (this module); the last six are semantic, backed by the cross-file
+/// call graph ([`crate::semantic`]) and the dataflow extraction
+/// ([`crate::dataflow`]).
+pub const RULES: [&str; 12] = [
     "untracked-access",
     "nondeterminism",
     "counter-truncation",
@@ -18,6 +19,8 @@ pub const RULES: [&str; 10] = [
     "counter-conservation",
     "fault-tick-coverage",
     "calibration-provenance",
+    "charge-escape",
+    "des-invariant",
 ];
 
 /// Pseudo-rule reported for malformed/unknown allow-markers. Not
@@ -71,6 +74,14 @@ pub(crate) struct Markers {
     /// File carries the `fault-tick-module` pragma (joins the
     /// fault-tick-coverage module set even without defining `fault_tick`).
     pub fault_tick_module: bool,
+    /// File carries the `charge-module` pragma (joins the charge-escape
+    /// module set: every compound cycle/clock/counter mutation must reach
+    /// `commit` through in-set call chains).
+    pub charge_module: bool,
+    /// File carries the `des-module` pragma (opts into the des-invariant
+    /// rule: event totality, counter↔reconcile coverage, no ambient
+    /// entropy).
+    pub des_module: bool,
 }
 
 /// Parse `sgx-lint:` markers out of the comments; malformed markers become
@@ -106,8 +117,20 @@ pub(crate) fn parse_markers(
             markers.fault_tick_module = true;
             continue;
         }
+        // File pragma: opts the file into the charge-escape module set
+        // (layers whose cycle charges must flow through `commit`).
+        if rest == "charge-module" || rest.starts_with("charge-module ") {
+            markers.charge_module = true;
+            continue;
+        }
+        // File pragma: opts the file into the des-invariant rule (the
+        // deterministic discrete-event service engine).
+        if rest == "des-module" || rest.starts_with("des-module ") {
+            markers.des_module = true;
+            continue;
+        }
         let Some(args) = rest.strip_prefix("allow(") else {
-            bad("marker must be `sgx-lint: allow(<rule>) <reason>`, `sgx-lint: calibration-file` or `sgx-lint: fault-tick-module`", findings);
+            bad("marker must be `sgx-lint: allow(<rule>) <reason>` or a file pragma (`sgx-lint: calibration-file`, `fault-tick-module`, `charge-module`, `des-module`)", findings);
             continue;
         };
         let Some(close) = args.find(')') else {

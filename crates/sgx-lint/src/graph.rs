@@ -38,6 +38,12 @@ pub struct FileCtx {
     /// True when the file carries the `// sgx-lint: fault-tick-module`
     /// pragma (joins the fault-tick-coverage module set).
     pub fault_tick_module: bool,
+    /// True when the file carries the `// sgx-lint: charge-module`
+    /// pragma (joins the charge-escape module set).
+    pub charge_module: bool,
+    /// True when the file carries the `// sgx-lint: des-module` pragma
+    /// (opts into the des-invariant rule).
+    pub des_module: bool,
 }
 
 /// The whole scanned set.
@@ -85,6 +91,8 @@ impl Workspace {
                 allows: markers.allows,
                 calibration: markers.calibration_file,
                 fault_tick_module: markers.fault_tick_module,
+                charge_module: markers.charge_module,
+                des_module: markers.des_module,
             });
         }
         let mut fns: BTreeMap<String, Vec<(usize, usize)>> = BTreeMap::new();

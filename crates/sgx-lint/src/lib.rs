@@ -18,14 +18,18 @@
 //! | `unsafe-code` | any `unsafe` outside the allow-list (everywhere, including tests) |
 //! | `swallowed-error` | `let _ = <fallible call>(…)` and bare `.ok();` in non-test library code (discards a Result) |
 //! | `untracked-slice-taint` | a slice born from `as_slice_untracked` flowing into a function that indexes/iterates it (cross-file call-graph taint) |
-//! | `counter-conservation` | `Counters`/`CategoryCycles` fields never written (dead) or never read outside the defining crate (unattributed) |
+//! | `counter-conservation` | `Counters`/`CategoryCycles` fields never written (dead) or never read outside the defining crate (unattributed) — impl blocks behind `type` aliases resolve to the underlying struct |
 //! | `fault-tick-coverage` | cycle-charging functions in the fault-tick module set (`fault_tick`-defining files + `// sgx-lint: fault-tick-module` files) that never reach `fault_tick` |
 //! | `calibration-provenance` | numeric constants in `// sgx-lint: calibration-file` files without a `paper:`/`uarch:` comment |
+//! | `charge-escape` | compound cycle/clock/counter mutations in `// sgx-lint: charge-module` files that never reach `Core::commit` through the in-set call closure (a charge bypassing the choke point) |
+//! | `des-invariant` | in `// sgx-lint: des-module` files: enqueued `*Kind` event variants without an explicit event-loop arm, `*Counters` field increments absent from every `reconcile` conservation check, and ambient entropy sources |
 //!
-//! The first six rules are token-level and per-file; the last four are
+//! The first six rules are token-level and per-file; the last six are
 //! *semantic*: [`analyze_paths`] lexes and item-parses every file once,
-//! builds a workspace-wide symbol table and call graph ([`graph`]), and
-//! runs the semantic pass ([`semantic`]) across file boundaries.
+//! builds a workspace-wide symbol table and call graph ([`graph`]), runs
+//! the dataflow extraction ([`dataflow`]) where a rule needs def-use or
+//! field-write detail, and runs the semantic pass ([`semantic`]) across
+//! file boundaries.
 //!
 //! A finding is suppressed by an allow-marker comment on the same or the
 //! preceding line, with a mandatory reason:
@@ -54,6 +58,7 @@
 
 pub mod cli;
 pub mod corpus;
+pub mod dataflow;
 pub mod engine;
 pub mod graph;
 pub mod parse;
@@ -166,6 +171,18 @@ pub fn analyze_single_cfg(
 ) -> FileReport {
     let ws = graph::Workspace::build(vec![(PathBuf::from(label), class, src.to_string())]);
     finish_cfg(ws, cfg).pop().map(|(_, r)| r).unwrap_or_default()
+}
+
+/// Full analysis of a set of in-memory files forming one workspace — the
+/// robustness scorer's entry point for *multi-file variant workspaces*
+/// (a cross-file variant splits one corpus case over several files; the
+/// verdict must see them together). Reports come back in input order.
+pub fn analyze_set_cfg(
+    entries: Vec<(PathBuf, FileClass, String)>,
+    cfg: &semantic::Config,
+) -> Vec<(PathBuf, FileReport)> {
+    let ws = graph::Workspace::build(entries);
+    finish_cfg(ws, cfg)
 }
 
 /// Run both passes over a built workspace and merge per-file reports.

@@ -1,6 +1,6 @@
 //! Semantic rules on the workspace call graph ([`crate::graph`]).
 //!
-//! Four rules, each answering a question the per-file token pass cannot:
+//! Six rules, each answering a question the per-file token pass cannot:
 //!
 //! * **untracked-slice-taint** — does a slice born from
 //!   `as_slice_untracked` *flow into another function* that indexes or
@@ -21,16 +21,31 @@
 //! * **calibration-provenance** — in files carrying the
 //!   `// sgx-lint: calibration-file` pragma, does every numeric constant
 //!   line carry a `paper: §x.y` / `uarch: <source>` provenance comment?
+//! * **charge-escape** — in the `// sgx-lint: charge-module` set, does
+//!   every function that *mutates charge state* (a compound assignment to
+//!   a cycle/clock accumulator or a counters-ledger field, detected by
+//!   the [`crate::dataflow`] field-write pass through `&mut` reborrows)
+//!   reach `commit`, the `Core::commit(Charge)` choke point? A charge
+//!   that bypasses the choke point corrupts enclave-vs-native
+//!   attribution without failing a single test — exactly the silent
+//!   failure mode the hot-path optimization program must not introduce.
+//! * **des-invariant** — in `// sgx-lint: des-module` files (the service
+//!   DES), three determinism/conservation obligations: every `*Kind`
+//!   event variant that is constructed has an explicit match arm (no
+//!   wildcard-swallowed events); every `*Counters` field incremented is
+//!   read by a `reconcile` conservation check; no ambient entropy
+//!   sources (the DES draws randomness only from its seeded generator).
 //!
 //! All findings honor the same `// sgx-lint: allow(<rule>) <reason>`
 //! markers as the token rules (applied by the caller via
 //! [`Workspace::allowed`]).
 
+use crate::dataflow;
 use crate::engine::{FileClass, Finding};
 use crate::graph::Workspace;
 use crate::parse::Arg;
 use crate::tokenizer::{Tok, TokKind};
-use std::collections::BTreeSet;
+use std::collections::{BTreeMap, BTreeSet};
 
 fn is(t: &Tok, s: &str) -> bool {
     t.kind == TokKind::Ident && t.text == s
@@ -77,9 +92,11 @@ pub fn run(ws: &Workspace) -> Vec<(usize, Finding)> {
 pub fn run_cfg(ws: &Workspace, cfg: &Config) -> Vec<(usize, Finding)> {
     let mut out = Vec::new();
     untracked_slice_taint(ws, cfg, &mut out);
-    counter_conservation(ws, &mut out);
+    counter_conservation(ws, cfg, &mut out);
     fault_tick_coverage(ws, &mut out);
     calibration_provenance(ws, &mut out);
+    charge_escape(ws, &mut out);
+    des_invariant(ws, &mut out);
     out
 }
 
@@ -395,11 +412,29 @@ const CONSERVED_STRUCTS: [&str; 2] = ["Counters", "CategoryCycles"];
 /// scanned set spans only one crate — a subtree lint or a single corpus
 /// file — the attribution check falls back to "read outside the struct's
 /// own definition and `impl` blocks", so partial scans stay useful
-/// without false-flagging every field.
-fn counter_conservation(ws: &Workspace, out: &mut Vec<(usize, Finding)>) {
+/// without false-flagging every field. Impl blocks written against a
+/// `type` alias of the struct resolve to the underlying name (via
+/// [`dataflow::type_aliases`]) when `cfg.taint_aliases` is on, so an
+/// `impl CountersAlias { fn total(…) }` cannot launder bookkeeping reads
+/// into attribution.
+fn counter_conservation(ws: &Workspace, cfg: &Config, out: &mut Vec<(usize, Finding)>) {
     let crates: BTreeSet<&str> =
         ws.files.iter().map(|f| f.crate_name.as_str()).collect();
     let multi_crate = crates.len() > 1;
+    // Workspace-merged `type` alias map, for resolving own-impl blocks
+    // declared against `type X = Counters;` style aliases. Merged across
+    // files because in the single-crate fallback names resolve
+    // workspace-wide (the same policy as call edges) — an alias defined
+    // in one file still claims an `impl` written in another.
+    let aliases: BTreeMap<String, String> = if cfg.taint_aliases {
+        let mut merged = BTreeMap::new();
+        for f in &ws.files {
+            merged.extend(dataflow::type_aliases(&f.lexed.tokens));
+        }
+        merged
+    } else {
+        BTreeMap::new()
+    };
     for (fi, f) in ws.files.iter().enumerate() {
         if f.class == FileClass::Test {
             continue;
@@ -417,21 +452,28 @@ fn counter_conservation(ws: &Workspace, out: &mut Vec<(usize, Finding)>) {
                     let toks = &other.lexed.tokens;
                     // Token ranges that don't count as attribution: the
                     // struct definition itself and its own `impl` blocks
-                    // in the defining file (a counter summing itself into
-                    // `accesses()` is bookkeeping, not a figure).
-                    let own_ranges: Vec<(usize, usize)> = if oi == fi {
-                        std::iter::once(st.body)
-                            .chain(
-                                other
-                                    .items
-                                    .impls
-                                    .iter()
-                                    .filter(|im| im.type_name == st.name)
-                                    .map(|im| im.body),
-                            )
-                            .collect()
-                    } else {
+                    // (a counter summing itself into `accesses()` is
+                    // bookkeeping, not a figure). Only meaningful in the
+                    // single-crate fallback; impls are matched in every
+                    // scanned file, so splitting the impl away from the
+                    // struct — or hiding it behind a `type` alias — does
+                    // not turn bookkeeping into attribution.
+                    let own_ranges: Vec<(usize, usize)> = if multi_crate {
                         Vec::new()
+                    } else {
+                        let impls = other
+                            .items
+                            .impls
+                            .iter()
+                            .filter(|im| {
+                                dataflow::resolve_alias(&aliases, &im.type_name) == st.name
+                            })
+                            .map(|im| im.body);
+                        if oi == fi {
+                            std::iter::once(st.body).chain(impls).collect()
+                        } else {
+                            impls.collect()
+                        }
                     };
                     for (ti, t) in toks.iter().enumerate() {
                         if !is(t, &field.name) || ti == 0 || !p(&toks[ti - 1], b'.') {
@@ -646,6 +688,291 @@ fn calibration_provenance(ws: &Workspace, out: &mut Vec<(usize, Finding)>) {
                     l,
                     "calibration-provenance",
                     "numeric constant in a calibration file without a `paper: §x.y` / `uarch: <source>` provenance comment — calibration must stay auditable against the paper".to_string(),
+                ),
+            ));
+        }
+    }
+}
+
+// ------------------------------------------------------- charge escape --
+
+/// Does this assignment-target chain (receiver-alias-resolved) mutate
+/// charge state: a cycle/clock accumulator, the wall clock, or a field of
+/// a counters ledger? Byte counters (`*_bytes`) are deliberately out of
+/// scope — they are derived views, not the charged quantity itself.
+fn charge_ish(chain: &[String]) -> bool {
+    chain.iter().any(|s| {
+        let l = s.to_ascii_lowercase();
+        l.contains("cycle") || l.contains("clock") || s == "wall" || s == "counters"
+    })
+}
+
+/// Rule: charge-escape, over the `// sgx-lint: charge-module` set (the
+/// layered machine pipeline opts in file by file, like fault-tick). Every
+/// non-test function in the set that performs a *compound* assignment to
+/// charge state (plain `=` is a reset/install, not a charge) must reach
+/// `commit` — the `Core::commit(Charge)` choke point — directly or
+/// through unmasked in-set call chains. `commit` itself and its in-set
+/// transitive callees are exempt (they *are* the choke point's
+/// implementation). A pragma'd set in which no file defines `commit`
+/// flags every charge site: a charging module the choke point never sees
+/// is exactly the escape this rule exists for. Charge sites are detected
+/// by the [`dataflow`] field-write pass, resolved through `let r = &mut
+/// self.…;` reborrows so laundering a receiver does not hide the write.
+fn charge_escape(ws: &Workspace, out: &mut Vec<(usize, Finding)>) {
+    let set: Vec<usize> = ws
+        .files
+        .iter()
+        .enumerate()
+        .filter(|(_, f)| f.class != FileClass::Test && f.charge_module)
+        .map(|(fi, _)| fi)
+        .collect();
+    if set.is_empty() {
+        return;
+    }
+    let defined: BTreeSet<&str> = set
+        .iter()
+        .flat_map(|&fi| ws.files[fi].items.fns.iter().map(|i| i.name.as_str()))
+        .collect();
+    // Downward closure: `commit` and everything it transitively calls
+    // within the set — the choke point's own charge paths.
+    let mut exempt: BTreeSet<String> = BTreeSet::new();
+    exempt.insert("commit".to_string());
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for &fi in &set {
+            for item in &ws.files[fi].items.fns {
+                if !exempt.contains(&item.name) {
+                    continue;
+                }
+                for call in &item.calls {
+                    if defined.contains(call.callee.as_str()) && !exempt.contains(&call.callee) {
+                        exempt.insert(call.callee.clone());
+                        changed = true;
+                    }
+                }
+            }
+        }
+    }
+    // Upward closure: names that reach `commit` through unmasked in-set
+    // call chains. Empty when no set file defines it.
+    let mut reaches: BTreeSet<String> = BTreeSet::new();
+    if set.iter().any(|&fi| ws.files[fi].items.fns.iter().any(|i| i.name == "commit")) {
+        reaches.insert("commit".to_string());
+        changed = true;
+        while changed {
+            changed = false;
+            for &fi in &set {
+                let f = &ws.files[fi];
+                for item in &f.items.fns {
+                    if reaches.contains(&item.name) {
+                        continue;
+                    }
+                    let hits = item.calls.iter().any(|c| {
+                        reaches.contains(&c.callee)
+                            && !f.mask.get(c.tok).copied().unwrap_or(false)
+                    });
+                    if hits {
+                        reaches.insert(item.name.clone());
+                        changed = true;
+                    }
+                }
+            }
+        }
+    }
+    for &fi in &set {
+        let f = &ws.files[fi];
+        let toks = &f.lexed.tokens;
+        for item in &f.items.fns {
+            if exempt.contains(&item.name) || reaches.contains(&item.name) {
+                continue;
+            }
+            let aliases = dataflow::receiver_aliases(toks, item.body);
+            // First unmasked compound charge site in the body.
+            let site = dataflow::field_writes(toks, item.body).into_iter().find(|w| {
+                w.compound
+                    && !f.mask.get(w.tok).copied().unwrap_or(false)
+                    && charge_ish(&dataflow::resolve_receiver(&w.chain, &aliases))
+            });
+            let Some(w) = site else { continue };
+            out.push((
+                fi,
+                finding(
+                    &f.label,
+                    w.line,
+                    "charge-escape",
+                    format!(
+                        "`{}` mutates charge state (`{}`) but never reaches `commit` through the charge-module set — a charge bypassing the `Core::commit` choke point skews enclave-vs-native attribution invisibly; route it through `commit` or add a reasoned allow-marker",
+                        item.name,
+                        w.chain.join(".")
+                    ),
+                ),
+            ));
+        }
+    }
+}
+
+// -------------------------------------------------------- des invariant --
+
+/// Ambient entropy idents a deterministic DES must never touch: every
+/// random decision has to come from the seeded generator, or replays (and
+/// `--jobs` shards) diverge.
+const ENTROPY_SOURCES: [&str; 5] = ["random", "gen_range", "gen_bool", "getrandom", "OsRng"];
+
+/// Rule: des-invariant, over `// sgx-lint: des-module` files (the
+/// discrete-event service core). Three obligations:
+///
+/// 1. **Event totality** — every variant of a `*Kind` enum that is
+///    constructed (enqueued) in the set has an explicit match arm
+///    somewhere in the set. A wildcard arm does not count: it is exactly
+///    how an unhandled event silently drops work.
+/// 2. **Counter ↔ reconcile conservation** — every `*Counters` field a
+///    set file increments (compound field write, receiver-qualified so
+///    plain locals don't match) is read by some non-test `reconcile`
+///    function in the scanned workspace. Vacuously satisfied when the
+///    scan contains no `*Counters` struct or no `reconcile` function
+///    (partial scans stay useful).
+/// 3. **Seeded randomness only** — no ambient entropy idents.
+fn des_invariant(ws: &Workspace, out: &mut Vec<(usize, Finding)>) {
+    let set: Vec<usize> = ws
+        .files
+        .iter()
+        .enumerate()
+        .filter(|(_, f)| f.class != FileClass::Test && f.des_module)
+        .map(|(fi, _)| fi)
+        .collect();
+    if set.is_empty() {
+        return;
+    }
+
+    // (1) Event totality over `*Kind` enums defined in the set.
+    let kind_enums: BTreeSet<String> = set
+        .iter()
+        .flat_map(|&fi| dataflow::parse_enums(&ws.files[fi].lexed.tokens))
+        .filter(|e| e.name.ends_with("Kind"))
+        .map(|e| e.name)
+        .collect();
+    let mut constructed: BTreeMap<(String, String), (usize, u32)> = BTreeMap::new();
+    let mut handled: BTreeSet<(String, String)> = BTreeSet::new();
+    for &fi in &set {
+        let f = &ws.files[fi];
+        for u in dataflow::variant_uses(&f.lexed.tokens) {
+            if !kind_enums.contains(&u.enum_name) {
+                continue;
+            }
+            let key = (u.enum_name, u.variant);
+            match u.usage {
+                dataflow::PathUse::Construct => {
+                    if !f.mask.get(u.tok).copied().unwrap_or(false) {
+                        constructed.entry(key).or_insert((fi, u.line));
+                    }
+                }
+                dataflow::PathUse::MatchArm => {
+                    handled.insert(key);
+                }
+            }
+        }
+    }
+    for ((enum_name, variant), (fi, line)) in &constructed {
+        if handled.contains(&(enum_name.clone(), variant.clone())) {
+            continue;
+        }
+        out.push((
+            *fi,
+            finding(
+                &ws.files[*fi].label,
+                *line,
+                "des-invariant",
+                format!(
+                    "event `{enum_name}::{variant}` is enqueued but has no explicit event-loop arm — a wildcard-swallowed event drops work the counters can never reconcile"
+                ),
+            ),
+        ));
+    }
+
+    // (2) Counter ↔ reconcile conservation.
+    let counter_fields: BTreeSet<String> = ws
+        .files
+        .iter()
+        .flat_map(|f| f.items.structs.iter())
+        .filter(|st| st.name.ends_with("Counters"))
+        .flat_map(|st| st.fields.iter().map(|fl| fl.name.clone()))
+        .collect();
+    let mut reconciled: BTreeSet<String> = BTreeSet::new();
+    let mut have_reconcile = false;
+    for f in &ws.files {
+        if f.class == FileClass::Test {
+            continue;
+        }
+        for item in &f.items.fns {
+            if !item.name.contains("reconcile")
+                || f.mask.get(item.kw_tok).copied().unwrap_or(false)
+            {
+                continue;
+            }
+            have_reconcile = true;
+            for t in &f.lexed.tokens[item.body.0..item.body.1.min(f.lexed.tokens.len())] {
+                if t.kind == TokKind::Ident {
+                    reconciled.insert(t.text.clone());
+                }
+            }
+        }
+    }
+    if !counter_fields.is_empty() && have_reconcile {
+        for &fi in &set {
+            let f = &ws.files[fi];
+            let toks = &f.lexed.tokens;
+            for item in &f.items.fns {
+                for w in dataflow::field_writes(toks, item.body) {
+                    // Field writes only (`chain.len() >= 2`): a plain
+                    // local that happens to share a counter's name is not
+                    // a ledger increment.
+                    if !w.compound
+                        || w.chain.len() < 2
+                        || f.mask.get(w.tok).copied().unwrap_or(false)
+                    {
+                        continue;
+                    }
+                    let Some(last) = w.chain.last() else { continue };
+                    if counter_fields.contains(last) && !reconciled.contains(last) {
+                        out.push((
+                            fi,
+                            finding(
+                                &f.label,
+                                w.line,
+                                "des-invariant",
+                                format!(
+                                    "counter field `{last}` is incremented here but read by no `reconcile` conservation check — an unreconciled counter can leak or double-count events undetected"
+                                ),
+                            ),
+                        ));
+                    }
+                }
+            }
+        }
+    }
+
+    // (3) Seeded randomness only.
+    for &fi in &set {
+        let f = &ws.files[fi];
+        for (ti, t) in f.lexed.tokens.iter().enumerate() {
+            if t.kind != TokKind::Ident
+                || f.mask.get(ti).copied().unwrap_or(false)
+                || !ENTROPY_SOURCES.contains(&t.text.as_str())
+            {
+                continue;
+            }
+            out.push((
+                fi,
+                finding(
+                    &f.label,
+                    t.line,
+                    "des-invariant",
+                    format!(
+                        "ambient entropy source `{}` in a des-module file — the DES must draw every random decision from its seeded generator or replays and `--jobs` shards diverge",
+                        t.text
+                    ),
                 ),
             ));
         }
@@ -946,5 +1273,131 @@ mod tests {
         let found = run(&w);
         assert_eq!(rules(&found), ["calibration-provenance"]);
         assert_eq!(found[0].1.line, 5);
+    }
+
+    #[test]
+    fn conservation_resolves_impl_type_aliases() {
+        // Reads inside `impl CountersAlias` are the struct's own
+        // bookkeeping and must not attribute — the alias cannot launder
+        // them. The weaken knob restores the pre-hardening blind spot.
+        let bad = ws(&[(
+            "counter-conservation_4.rs",
+            FileClass::OperatorLib,
+            "pub struct Counters { pub loads: u64 }\ntype CountersAlias = Counters;\nimpl CountersAlias { fn total(&self) -> u64 { self.loads } }\nfn charge(c: &mut Counters) { c.loads += 1; }",
+        )]);
+        assert_eq!(rules(&run(&bad)), ["counter-conservation"], "{:?}", run(&bad));
+        let weak = Config { taint_aliases: false, ..Config::default() };
+        assert!(run_cfg(&bad, &weak).is_empty());
+    }
+
+    #[test]
+    fn charge_escape_flags_choke_point_bypass() {
+        // `commit` and its callee `apply` are the choke point (exempt);
+        // `resolve` reaches it (clean); `leak` charges a clock without
+        // reaching (flagged); `reset` only plain-assigns (clean).
+        let w = ws(&[(
+            "crates/sgx-sim/src/machine/core.rs",
+            FileClass::Lib,
+            "// sgx-lint: charge-module\nimpl M {\nfn commit(&mut self) { self.cycles += 1.0; self.apply(); }\nfn apply(&mut self) { self.m.counters.loads += 1; }\nfn resolve(&mut self) { self.commit(); }\nfn leak(&mut self) { self.core_clock += 7.0; }\nfn reset(&mut self) { self.wall = 0.0; }\n}",
+        )]);
+        let found = run(&w);
+        assert_eq!(rules(&found), ["charge-escape"], "{found:?}");
+        assert!(found[0].1.message.contains("`leak`"), "{}", found[0].1.message);
+    }
+
+    #[test]
+    fn charge_escape_sees_through_reborrows() {
+        let w = ws(&[(
+            "crates/sgx-sim/src/machine/core.rs",
+            FileClass::Lib,
+            "// sgx-lint: charge-module\nimpl M {\nfn commit(&mut self) { self.cycles += 1.0; }\nfn leak(&mut self) { let c = &mut self.m.counters; c.loads += 1; }\n}",
+        )]);
+        let found = run(&w);
+        assert_eq!(rules(&found), ["charge-escape"], "{found:?}");
+        assert!(found[0].1.message.contains("`leak`"));
+    }
+
+    #[test]
+    fn charge_escape_without_commit_flags_all_charges() {
+        // A pragma'd module from which `commit` is unreachable (not even
+        // defined): every charge path escapes the choke point — flag it.
+        let w = ws(&[(
+            "crates/sgx-sim/src/machine/numa.rs",
+            FileClass::Lib,
+            "// sgx-lint: charge-module\nimpl M {\nfn upi(&mut self) { self.wall += 9.0; }\n}",
+        )]);
+        let found = run(&w);
+        assert_eq!(rules(&found), ["charge-escape"], "{found:?}");
+        assert!(found[0].1.message.contains("`upi`"));
+    }
+
+    #[test]
+    fn charge_escape_requires_the_pragma() {
+        let w = ws(&[(
+            "crates/sgx-sim/src/machine/core.rs",
+            FileClass::Lib,
+            "impl M { fn leak(&mut self) { self.core_clock += 1.0; } }",
+        )]);
+        assert!(run(&w).is_empty(), "{:?}", run(&w));
+    }
+
+    #[test]
+    fn des_invariant_event_totality() {
+        // `Drop` is enqueued but only a wildcard arm would catch it.
+        let w = ws(&[(
+            "crates/sgx-serve/src/des.rs",
+            FileClass::Lib,
+            "// sgx-lint: des-module\nenum EvKind { Arrive, Drop }\nimpl E {\nfn go(&mut self, k: EvKind) { self.push(EvKind::Arrive); self.push(EvKind::Drop);\n  match k { EvKind::Arrive => {}, _ => {} } }\n}",
+        )]);
+        let found = run(&w);
+        assert_eq!(rules(&found), ["des-invariant"], "{found:?}");
+        assert!(found[0].1.message.contains("`EvKind::Drop`"), "{}", found[0].1.message);
+    }
+
+    #[test]
+    fn des_invariant_counter_reconcile_conservation() {
+        // `done` is asserted by `reconcile` (clean); `retries` is
+        // incremented but reconciled nowhere (flagged); the *local*
+        // `retries` accumulator is not a ledger write (clean).
+        let w = ws(&[(
+            "crates/sgx-serve/src/des.rs",
+            FileClass::Lib,
+            "// sgx-lint: des-module\npub struct ServiceCounters { pub done: u64, pub retries: u64 }\nfn reconcile(c: &ServiceCounters) { assert_eq!(c.done, 1); }\nimpl E {\nfn step(&mut self) { self.c.done += 1; self.c.retries += 1; }\nfn local(&mut self) { let mut retries = 0; retries += 1; let _ = retries; }\n}",
+        )]);
+        let found = run(&w);
+        assert_eq!(rules(&found), ["des-invariant"], "{found:?}");
+        assert!(found[0].1.message.contains("`retries`"), "{}", found[0].1.message);
+        assert_eq!(found.len(), 1);
+    }
+
+    #[test]
+    fn des_invariant_conservation_is_vacuous_without_reconcile() {
+        // No `reconcile` fn in the scan: sub-check (2) cannot apply —
+        // partial scans (a solo des.rs under selfcheck) stay clean.
+        let w = ws(&[(
+            "crates/sgx-serve/src/des.rs",
+            FileClass::Lib,
+            "// sgx-lint: des-module\npub struct ServiceCounters { pub done: u64 }\nimpl E { fn step(&mut self) { self.c.done += 1; } }",
+        )]);
+        assert!(run(&w).is_empty(), "{:?}", run(&w));
+    }
+
+    #[test]
+    fn des_invariant_flags_ambient_entropy() {
+        let w = ws(&[(
+            "crates/sgx-serve/src/des.rs",
+            FileClass::Lib,
+            "// sgx-lint: des-module\nimpl E { fn pick(&mut self) -> u64 { self.rng.gen_range(0, 9) } }",
+        )]);
+        let found = run(&w);
+        assert_eq!(rules(&found), ["des-invariant"], "{found:?}");
+        assert!(found[0].1.message.contains("`gen_range`"));
+        // Without the pragma the rule is out of scope.
+        let off = ws(&[(
+            "crates/sgx-serve/src/des.rs",
+            FileClass::Lib,
+            "impl E { fn pick(&mut self) -> u64 { self.rng.gen_range(0, 9) } }",
+        )]);
+        assert!(run(&off).is_empty());
     }
 }

@@ -113,18 +113,44 @@ fn baselines_are_rejected_and_never_read_implicitly() {
 }
 
 #[test]
-fn emit_variants_writes_the_variant_corpus() {
+fn emit_variants_writes_one_directory_per_variant() {
     let dir = std::env::temp_dir().join("sgx_lint_robustness_emit_test");
     let _ = std::fs::remove_dir_all(&dir);
     let out = robustness(&["--emit-variants", dir.to_str().unwrap()]);
     assert_eq!(out.status.code(), Some(0));
-    let files: Vec<_> = std::fs::read_dir(&dir)
+    let entries: Vec<_> = std::fs::read_dir(&dir)
         .expect("emit dir exists")
+        .filter_map(|e| e.ok())
+        .collect();
+    // Every variant is a directory named {case}__{label}; 63 cases × ~a
+    // dozen applicable variants each. Spot-check volume and labeling.
+    assert!(entries.len() > 500, "only {} variants emitted", entries.len());
+    assert!(
+        entries.iter().all(|e| e.file_type().map(|t| t.is_dir()).unwrap_or(false)),
+        "flat files in the emit dir — expected one directory per variant"
+    );
+    let names: Vec<String> =
+        entries.iter().map(|e| e.file_name().to_string_lossy().into_owned()).collect();
+    assert!(names.iter().any(|f| f.contains("__wrap_d2_")));
+    assert!(names.iter().any(|f| f.contains("__seqlen_n3_")));
+    assert!(names.iter().any(|f| f.contains("__alias_s")));
+
+    // Single-file variants hold exactly `case.rs`; cross-file xsplit
+    // variants hold the two halves in deterministic part order.
+    let single = names.iter().find(|f| f.contains("__wrap_d1")).expect("a wrap variant");
+    let mut files: Vec<String> = std::fs::read_dir(dir.join(single))
+        .unwrap()
         .filter_map(|e| e.ok().map(|e| e.file_name().to_string_lossy().into_owned()))
         .collect();
-    // 63 cases × ~a dozen variants each; spot-check volume and labeling.
-    assert!(files.len() > 500, "only {} variants emitted", files.len());
-    assert!(files.iter().any(|f| f.contains("wrap_d2_")));
-    assert!(files.iter().any(|f| f.contains("seqlen_n3_")));
+    files.sort();
+    assert_eq!(files, vec!["case.rs".to_string()]);
+
+    let split = names.iter().find(|f| f.contains("__xsplit_s")).expect("an xsplit variant");
+    let mut files: Vec<String> = std::fs::read_dir(dir.join(split))
+        .unwrap()
+        .filter_map(|e| e.ok().map(|e| e.file_name().to_string_lossy().into_owned()))
+        .collect();
+    files.sort();
+    assert_eq!(files, vec!["part_a.rs".to_string(), "part_b.rs".to_string()]);
     let _ = std::fs::remove_dir_all(&dir);
 }

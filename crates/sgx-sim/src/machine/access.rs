@@ -4,6 +4,7 @@
 //! model stays private).
 //
 // sgx-lint: fault-tick-module
+// sgx-lint: charge-module
 
 use crate::cache::line_of;
 use crate::config::CACHE_LINE;

@@ -3,6 +3,7 @@
 //! plus the [`Charge`] choke point every other layer commits through.
 //
 // sgx-lint: fault-tick-module
+// sgx-lint: charge-module
 
 use crate::cache::{Cache, StreamDetector};
 use crate::config::{HwConfig, SgxGeneration};
@@ -267,6 +268,7 @@ impl Machine {
                     let mut core = Core::new(self, cores[w]);
                     core.windex = w;
                     f(&mut core, task);
+                    // sgx-lint: allow(charge-escape) worker-merge: folding per-core cycles already committed through `Core::commit` into the shared clock array
                     clocks[w] += core.cycles;
                     for s in 0..sockets {
                         dram_bytes[s] += core.dram_bytes[s];
@@ -324,6 +326,7 @@ impl Machine {
             bound = edmm_cap;
             bandwidth_bound = true;
         }
+        // sgx-lint: allow(charge-escape) phase barrier: the wall clock advances by the max over per-core totals that each flowed through `commit`
         self.wall += bound;
         PhaseStats { wall_cycles: bound, core_cycles, bandwidth_bound }
     }

@@ -3,6 +3,7 @@
 //! fault/EDMM train caps `finish_phase` regulates against.
 //
 // sgx-lint: fault-tick-module
+// sgx-lint: charge-module
 
 use crate::config::{CACHE_LINE, PAGE_SIZE};
 use crate::mem::{ExecMode, Region, SimVec};

@@ -3,6 +3,7 @@
 //! itself lives here, at the boundary where interrupts strike.
 //
 // sgx-lint: fault-tick-module
+// sgx-lint: charge-module
 
 use crate::faults::ocall_cost;
 use crate::mem::ExecMode;
@@ -18,6 +19,7 @@ impl Machine {
     pub fn ecall(&mut self) {
         if self.mode == ExecMode::Enclave {
             let cost = 2.0 * self.cfg.transitions.transition_cycles;
+            // sgx-lint: allow(charge-escape) ECALL/OCALL transition cost lands on the wall clock directly: transitions happen outside any core phase, so there is no `Charge` to route
             self.wall += cost;
             self.counters.transitions += 2;
             self.prof_record(CostCategory::Transition, cost);
