@@ -292,4 +292,23 @@ if "$SB" --scale 256 --overload 8 --no-admission --expect-shedding >/dev/null 2>
 fi
 rm -rf "$SVC_TMP"
 
+echo "== ci: perf-trend gate (latest two BENCH_*.json, watched rows via sim_bench --trend)"
+# Compare the two newest checked-in trajectory files on the watched rows
+# (join-smoke, scan-smoke): a >30 % events/sec drop fails CI. Wall-clock
+# throughput is only comparable on a multi-core host of the trajectory's
+# class; on a 1-CPU container the gate still runs but demotes a trip to a
+# loud warning (--warn-only) instead of a failure.
+TREND_FILES=$(ls BENCH_pr*.json 2>/dev/null | sort -t'r' -k2 -n | tail -2)
+if [ "$(printf '%s\n' $TREND_FILES | wc -l)" -lt 2 ]; then
+    echo "ci: perf-trend gate skipped — need at least two BENCH_pr*.json files"
+else
+    TREND_OLD=$(printf '%s\n' $TREND_FILES | head -1)
+    TREND_NEW=$(printf '%s\n' $TREND_FILES | tail -1)
+    TREND_FLAGS=""
+    if [ "$(nproc 2>/dev/null || echo 1)" -le 1 ]; then
+        TREND_FLAGS="--warn-only"
+    fi
+    target/release/sim_bench --trend "$TREND_OLD" "$TREND_NEW" $TREND_FLAGS
+fi
+
 echo "== ci: OK"

@@ -1,7 +1,7 @@
 //! Perf-trajectory smoke: `BENCH_pr<N>.json` seeder.
 //!
-//! Measures three coarse host-side throughput numbers and writes them in
-//! a `BENCHMARK_DATA`-style document (schema patterned on the
+//! Measures coarse host-side throughput numbers and writes them in a
+//! `BENCHMARK_DATA`-style document (schema patterned on the
 //! github-action-benchmark `data.js` format, minus the `window.` JS
 //! wrapper):
 //!
@@ -19,15 +19,19 @@
 //!
 //! "Events" are simulated micro-operations (loads + stores + scalar +
 //! vector ops), so events/sec tracks how fast the *host* grinds through
-//! simulated work — the number optimization PRs move. Simulated results
-//! stay bit-deterministic; only the wall-clock side varies per host, which
-//! is why these numbers live in a checked-in trajectory file rather than
-//! a test.
+//! simulated work — the number optimization PRs move. Every row is one
+//! warmup run plus median-of-N (default N = 5) with the real min–max
+//! spread in the `range` field (`sgx_bench_core::simbench::sample`);
+//! simulated results stay bit-deterministic, only the wall-clock side
+//! varies per host, which is why these numbers live in a checked-in
+//! trajectory file rather than a test. The deeper per-kernel suite lives
+//! in `sim_bench`; this bin stays the cheap cross-layer smoke whose row
+//! names (`join-smoke`, `scan-smoke`) the CI trend gate watches.
 //!
 //! Usage: `cargo run --release -p bench --bin bench_events -- [--out FILE]
-//! [--commit ID]` (default `--out` is stdout).
+//! [--commit ID] [--reps N]` (default `--out` is stdout).
 
-use sgx_bench_core::json::Value;
+use sgx_bench_core::simbench::{document, sample, BenchRow};
 use sgx_joins::common::JoinConfig;
 use sgx_joins::data::{gen_fk_relation, gen_pk_relation};
 use sgx_joins::pht::pht_join;
@@ -45,54 +49,34 @@ fn events(d: &Counters) -> u64 {
     d.loads + d.stores + d.alu_ops + d.vec_ops
 }
 
-struct BenchRow {
-    name: &'static str,
-    value: f64,
-    unit: &'static str,
+/// Time one run of `f` on a machine and return events/sec.
+fn rate(m: &mut Machine, f: impl FnOnce(&mut Machine)) -> f64 {
+    let before = m.counters().clone();
+    // sgx-lint: allow(nondeterminism) timing the host's simulation rate is the benchmark
+    let t0 = Instant::now();
+    f(m);
+    let secs = t0.elapsed().as_secs_f64().max(1e-9);
+    events(&m.counters().delta(&before)) as f64 / secs
 }
 
-fn main() {
-    let mut out_path: Option<PathBuf> = None;
-    let mut commit = "worktree".to_string();
-    let mut args = std::env::args().skip(1);
-    while let Some(a) = args.next() {
-        match a.as_str() {
-            "--out" => out_path = args.next().map(PathBuf::from),
-            "--commit" => {
-                if let Some(c) = args.next() {
-                    commit = c;
-                }
-            }
-            other => {
-                eprintln!("bench_events: unknown argument {other}");
-                std::process::exit(2);
-            }
-        }
-    }
-
-    let mut rows: Vec<BenchRow> = Vec::new();
-
-    // --- sgx-lint wall-clock over the workspace sources.
+/// One lint pass over the workspace sources, in milliseconds.
+fn lint_workspace_ms() -> f64 {
     // sgx-lint: allow(nondeterminism) timing the lint pass is the benchmark
     let t0 = Instant::now();
     let reports = sgx_lint::analyze_paths(&[PathBuf::from("crates")]);
-    let lint_ms = t0.elapsed().as_secs_f64() * 1e3;
-    let files = reports.len();
-    eprintln!("bench_events: lint pass over {files} files in {lint_ms:.1} ms");
-    rows.push(BenchRow { name: "lint-workspace", value: lint_ms, unit: "ms" });
+    let ms = t0.elapsed().as_secs_f64() * 1e3;
+    std::hint::black_box(reports.len());
+    ms
+}
 
-    // --- dataflow pass: fact-extraction rate of the lint's intraprocedural
-    // dataflow engine over the workspace token streams (tokenization is
-    // excluded — this isolates the pass the semantic rules lean on).
-    let sources: Vec<String> = sgx_lint::collect_rust_files(&PathBuf::from("crates"))
-        .into_iter()
-        .filter_map(|p| std::fs::read_to_string(p).ok())
-        .collect();
-    let lexed: Vec<_> = sources.iter().map(|s| sgx_lint::tokenizer::tokenize(s)).collect();
+/// Fact-extraction rate of the lint's intraprocedural dataflow engine
+/// over pre-tokenized workspace sources (tokenization excluded — this
+/// isolates the pass the semantic rules lean on).
+fn dataflow_rate(lexed: &[sgx_lint::tokenizer::Lexed]) -> f64 {
     // sgx-lint: allow(nondeterminism) timing the dataflow pass is the benchmark
     let t0 = Instant::now();
     let mut facts = 0u64;
-    for lx in &lexed {
+    for lx in lexed {
         let toks = &lx.tokens;
         let span = (0, toks.len());
         facts += sgx_lint::dataflow::field_writes(toks, span).len() as u64;
@@ -102,46 +86,35 @@ fn main() {
         facts += sgx_lint::dataflow::variant_uses(toks).len() as u64;
     }
     let secs = t0.elapsed().as_secs_f64().max(1e-9);
-    eprintln!(
-        "bench_events: dataflow pass — {facts} facts from {} files in {:.1} ms",
-        lexed.len(),
-        secs * 1e3
-    );
-    rows.push(BenchRow { name: "dataflow-pass", value: facts as f64 / secs, unit: "events/sec" });
+    facts as f64 / secs
+}
 
-    // --- PHT join smoke: events/sec at a small, fixed scale.
+/// PHT join smoke: events/sec at a small, fixed scale (fresh machine and
+/// relations per repetition, so every run replays identical sim work).
+fn join_smoke() -> f64 {
     let mut m = Machine::new(scaled_profile(), Setting::SgxDataInEnclave);
     let r = gen_pk_relation(&mut m, 1 << 14, 0xC0FFEE);
     let s = gen_fk_relation(&mut m, 1 << 16, 1 << 14, 0xBEEF);
     let cfg = JoinConfig::new(2);
-    let before = m.counters().clone();
-    // sgx-lint: allow(nondeterminism) timing the host's simulation rate is the benchmark
-    let t0 = Instant::now();
-    let stats = pht_join(&mut m, &r, &s, &cfg);
-    let secs = t0.elapsed().as_secs_f64().max(1e-9);
-    let ev = events(&m.counters().delta(&before));
-    eprintln!(
-        "bench_events: join smoke — {} matches, {ev} events in {:.1} ms",
-        stats.matches,
-        secs * 1e3
-    );
-    rows.push(BenchRow { name: "join-smoke", value: ev as f64 / secs, unit: "events/sec" });
+    rate(&mut m, |m| {
+        std::hint::black_box(pht_join(m, &r, &s, &cfg));
+    })
+}
 
-    // --- linear-scan smoke: events/sec over a parallel 64-bit read.
+/// Linear-scan smoke: events/sec over a parallel 64-bit read.
+fn scan_smoke() -> f64 {
     let mut m = Machine::new(scaled_profile(), Setting::SgxDataInEnclave);
     let v = m.alloc::<u64>(1 << 18);
     let cfg = LinearConfig::new(2).with_warmup(0).with_repeats(2);
-    let before = m.counters().clone();
-    // sgx-lint: allow(nondeterminism) timing the host's simulation rate is the benchmark
-    let t0 = Instant::now();
-    let cycles = linear_read(&mut m, &v, Width::Bits64, &cfg);
-    let secs = t0.elapsed().as_secs_f64().max(1e-9);
-    let ev = events(&m.counters().delta(&before));
-    eprintln!("bench_events: scan smoke — {cycles:.0} sim cycles, {ev} events in {:.1} ms", secs * 1e3);
-    rows.push(BenchRow { name: "scan-smoke", value: ev as f64 / secs, unit: "events/sec" });
+    rate(&mut m, |m| {
+        std::hint::black_box(linear_read(m, &v, Width::Bits64, &cfg));
+    })
+}
 
-    // --- service smoke: DES throughput on a synthetic cost table (no
-    // machine calibration — this measures the event loop itself).
+/// One DES service run on a synthetic cost table; returns
+/// (queries/sec, DES events/sec). No machine calibration — this measures
+/// the event loop itself.
+fn service_smoke() -> (f64, f64) {
     let costs = sgx_serve::CostTable::synthetic(64);
     let m = costs.mean_total(sgx_serve::PlanVariant::Normal);
     let mut cfg = sgx_serve::ServiceConfig::new(0xBE7C);
@@ -176,24 +149,62 @@ fn main() {
         eprintln!("bench_events: service smoke failed to reconcile: {e}");
         std::process::exit(1);
     }
-    eprintln!(
-        "bench_events: service smoke — {} queries, {} DES events in {:.1} ms",
-        out.total.submitted,
-        out.events_processed,
-        secs * 1e3
-    );
-    rows.push(BenchRow {
-        name: "service-smoke",
-        value: out.total.submitted as f64 / secs,
-        unit: "queries/sec",
-    });
-    rows.push(BenchRow {
-        name: "service-events",
-        value: out.events_processed as f64 / secs,
-        unit: "events/sec",
-    });
+    (out.total.submitted as f64 / secs, out.events_processed as f64 / secs)
+}
 
-    let doc = document(&commit, &rows);
+fn main() {
+    let mut out_path: Option<PathBuf> = None;
+    let mut commit = "worktree".to_string();
+    let mut reps = 5usize;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--out" => out_path = args.next().map(PathBuf::from),
+            "--commit" => {
+                if let Some(c) = args.next() {
+                    commit = c;
+                }
+            }
+            "--reps" => {
+                reps = args.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+                    eprintln!("bench_events: --reps needs a number");
+                    std::process::exit(2);
+                });
+            }
+            other => {
+                eprintln!("bench_events: unknown argument {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let mut rows: Vec<BenchRow> = Vec::new();
+    let mut push = |name: &str, s: sgx_bench_core::simbench::Sample, unit: &str| {
+        eprintln!(
+            "bench_events: {name:<14} {:>14.1} {unit}  (min {:.1}, max {:.1}, N={reps})",
+            s.median, s.min, s.max
+        );
+        rows.push(BenchRow { name: name.into(), value: s.median, range: s.range(), unit: unit.into() });
+    };
+
+    push("lint-workspace", sample(1, reps, lint_workspace_ms), "ms");
+
+    let sources: Vec<String> = sgx_lint::collect_rust_files(&PathBuf::from("crates"))
+        .into_iter()
+        .filter_map(|p| std::fs::read_to_string(p).ok())
+        .collect();
+    let lexed: Vec<_> = sources.iter().map(|s| sgx_lint::tokenizer::tokenize(s)).collect();
+    push("dataflow-pass", sample(1, reps, || dataflow_rate(&lexed)), "events/sec");
+
+    push("join-smoke", sample(1, reps, join_smoke), "events/sec");
+    push("scan-smoke", sample(1, reps, scan_smoke), "events/sec");
+
+    // The two service metrics come from the same run; sample each
+    // independently so the medians stay honest per metric.
+    push("service-smoke", sample(1, reps, || service_smoke().0), "queries/sec");
+    push("service-events", sample(1, reps, || service_smoke().1), "events/sec");
+
+    let doc = document(&commit, "cross-layer perf smoke (median-of-N)", &rows);
     match out_path {
         Some(p) => {
             if let Err(e) = std::fs::write(&p, doc.pretty() + "\n") {
@@ -204,41 +215,4 @@ fn main() {
         }
         None => println!("{}", doc.pretty()),
     }
-}
-
-/// Assemble the `BENCHMARK_DATA`-style document.
-fn document(commit: &str, rows: &[BenchRow]) -> Value {
-    let benches: Vec<Value> = rows
-        .iter()
-        .map(|r| {
-            Value::Obj(vec![
-                ("name".into(), Value::Str(r.name.into())),
-                // One-shot smoke: no distribution to report yet; PRs that
-                // add repetitions can fill a real spread in.
-                ("value".into(), Value::Num((r.value * 10.0).round() / 10.0)),
-                ("range".into(), Value::Str("± 0".into())),
-                ("unit".into(), Value::Str(r.unit.into())),
-            ])
-        })
-        .collect();
-    Value::Obj(vec![
-        ("repoUrl".into(), Value::Str("https://example.invalid/sgxv2-olap-bench".into())),
-        (
-            "entries".into(),
-            Value::Obj(vec![(
-                "Rust Benchmark".into(),
-                Value::Arr(vec![Value::Obj(vec![
-                    (
-                        "commit".into(),
-                        Value::Obj(vec![
-                            ("id".into(), Value::Str(commit.into())),
-                            ("message".into(), Value::Str("charge-integrity dataflow lint PR smoke".into())),
-                        ]),
-                    ),
-                    ("tool".into(), Value::Str("cargo".into())),
-                    ("benches".into(), Value::Arr(benches)),
-                ])]),
-            )]),
-        ),
-    ])
 }

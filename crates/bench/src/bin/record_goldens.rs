@@ -1,9 +1,11 @@
 //! Record the refactor-equivalence goldens (`tests/goldens/`).
 //!
 //! Runs the full figure registry sequentially under the dedicated golden
-//! profile (`BenchProfile::golden()`), digests every figure's JSON bytes
-//! and every job's counter report, and writes
-//! `tests/goldens/figure_digests.json`. The digests pin the cost model:
+//! profile (`BenchProfile::golden()`) with per-job cycle-attribution
+//! profiling on, digests every figure's JSON bytes, every job's counter
+//! report, and every job's `<job>.profile.json` bytes, and writes
+//! `tests/goldens/figure_digests.json`. The digests pin the cost model —
+//! including where each cycle lands across the nine `CostCategory` bins:
 //! `tests/integration_equivalence.rs` asserts that later trees — and
 //! parallel `--jobs N` runs — reproduce them bit-for-bit.
 //!
@@ -13,7 +15,7 @@
 
 use std::process::ExitCode;
 
-use sgx_bench_core::golden::{counters_digest, figure_digest, GoldenJob, Goldens};
+use sgx_bench_core::golden::{counters_digest, figure_digest, profile_digest, GoldenJob, Goldens};
 use sgx_bench_core::runner::{registry, run_registry, JobStatus, RunConfig};
 use sgx_bench_core::BenchProfile;
 
@@ -25,7 +27,8 @@ fn main() -> ExitCode {
     eprintln!("recording goldens under profile: {}", BenchProfile::golden_tag());
     // Sequential on purpose: the goldens define the reference outcome,
     // and `jobs: 1` is exactly the pre-parallel harness behavior.
-    let cfg = RunConfig { jobs: 1, ..RunConfig::default() };
+    // Profiling on so the goldens also pin per-bin cycle attribution.
+    let cfg = RunConfig { jobs: 1, profile: true, ..RunConfig::default() };
     let outcomes = run_registry(&jobs, &profile, &cfg);
     let failed: Vec<&str> =
         outcomes.iter().filter(|o| o.status != JobStatus::Ok).map(|o| o.id.as_str()).collect();
@@ -40,6 +43,10 @@ fn main() -> ExitCode {
             .map(|o| GoldenJob {
                 id: o.id.clone(),
                 counters: counters_digest(&o.counters),
+                profile: profile_digest(
+                    &o.id,
+                    o.profile.as_ref().expect("profiled run carries a profile per ok job"),
+                ),
                 figures: o.figures.iter().map(|f| (f.id.clone(), figure_digest(f))).collect(),
             })
             .collect(),

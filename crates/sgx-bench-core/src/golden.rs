@@ -3,10 +3,13 @@
 //! The layered-machine refactor (DESIGN.md §10) must not change the cost
 //! model by a single bit. To prove that, the harness records one digest
 //! per figure job from the *pre-refactor* tree — over the exact JSON
-//! bytes of every emitted figure plus the job's counter report — into
+//! bytes of every emitted figure, the job's counter report, and the
+//! job's cycle-attribution profile (`<job>.profile.json` bytes) — into
 //! `tests/goldens/`, and `tests/integration_equivalence.rs` asserts that
 //! post-refactor runs (sequential and parallel alike) reproduce them
-//! exactly.
+//! exactly. The profile digest is the strictest of the three: it pins
+//! the per-phase split of cycles across the nine `CostCategory` bins,
+//! so a hot-path rewrite cannot silently move cost between bins.
 //!
 //! Digests are 64-bit FNV-1a (dependency-free, deterministic, and plenty
 //! for drift *detection* — this is a regression tripwire, not a security
@@ -14,8 +17,8 @@
 //! is self-describing.
 
 use crate::json::Value;
-use crate::report::Figure;
-use sgx_sim::Counters;
+use crate::report::{profile_json, Figure};
+use sgx_sim::{Counters, Profile};
 
 /// 64-bit FNV-1a over a byte string.
 pub fn fnv1a64(bytes: &[u8]) -> u64 {
@@ -44,6 +47,16 @@ pub fn counters_digest(counters: &Counters) -> String {
     digest_str(counters.report().as_bytes())
 }
 
+/// Digest of a job's cycle-attribution profile: over the exact
+/// `<job>.profile.json` bytes ([`profile_json`]), which cover every
+/// phase's nine-bin cycle split and per-phase counters. Pins *where*
+/// cycles land, not just their total — a hot-path rewrite that leaks
+/// cycles from one `CostCategory` bin into another trips this digest
+/// even when figures and counter totals stay intact.
+pub fn profile_digest(job_id: &str, profile: &Profile) -> String {
+    digest_str(profile_json(job_id, profile).as_bytes())
+}
+
 /// Golden record for one figure job.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct GoldenJob {
@@ -51,6 +64,9 @@ pub struct GoldenJob {
     pub id: String,
     /// [`counters_digest`] of the job's per-job counter totals.
     pub counters: String,
+    /// [`profile_digest`] of the job's cycle-attribution profile
+    /// (recorded with `RunConfig::profile` on).
+    pub profile: String,
     /// `(figure id, [`figure_digest`])` for every figure the job emitted,
     /// in emission order.
     pub figures: Vec<(String, String)>,
@@ -73,6 +89,7 @@ impl Goldens {
             Value::Obj(vec![
                 ("id".into(), Value::Str(j.id.clone())),
                 ("counters".into(), Value::Str(j.counters.clone())),
+                ("profile".into(), Value::Str(j.profile.clone())),
                 (
                     "figures".into(),
                     Value::Arr(
@@ -90,7 +107,7 @@ impl Goldens {
             ])
         };
         Value::Obj(vec![
-            ("schema".into(), Value::Str("sgx-bench-goldens/1".into())),
+            ("schema".into(), Value::Str("sgx-bench-goldens/2".into())),
             ("profile".into(), Value::Str(self.profile.clone())),
             ("jobs".into(), Value::Arr(self.jobs.iter().map(job).collect())),
         ])
@@ -104,7 +121,7 @@ impl Goldens {
             .get("schema")
             .and_then(Value::as_str)
             .ok_or_else(|| "goldens missing \"schema\"".to_string())?;
-        if schema != "sgx-bench-goldens/1" {
+        if schema != "sgx-bench-goldens/2" {
             return Err(format!("unsupported goldens schema {schema:?}"));
         }
         let profile = v
@@ -141,7 +158,12 @@ impl Goldens {
                         Ok((id.to_string(), digest.to_string()))
                     })
                     .collect::<Result<Vec<_>, String>>()?;
-                Ok(GoldenJob { id: field("id")?, counters: field("counters")?, figures })
+                Ok(GoldenJob {
+                    id: field("id")?,
+                    counters: field("counters")?,
+                    profile: field("profile")?,
+                    figures,
+                })
             })
             .collect::<Result<Vec<_>, String>>()?;
         Ok(Goldens { profile, jobs })
@@ -162,6 +184,18 @@ mod tests {
     }
 
     #[test]
+    fn profile_digest_covers_exact_profile_json_bytes() {
+        let p = Profile::default();
+        assert_eq!(
+            profile_digest("jobx", &p),
+            digest_str(profile_json("jobx", &p).as_bytes()),
+            "profile digest must be over the emitted artifact bytes"
+        );
+        // Job id participates (artifacts are per-job files).
+        assert_ne!(profile_digest("jobx", &p), profile_digest("joby", &p));
+    }
+
+    #[test]
     fn goldens_roundtrip_byte_identically() {
         let g = Goldens {
             profile: "scale=512 reps=1".into(),
@@ -169,12 +203,18 @@ mod tests {
                 GoldenJob {
                     id: "fig04".into(),
                     counters: "fnv:0123456789abcdef".into(),
+                    profile: "fnv:00000000000000cc".into(),
                     figures: vec![
                         ("fig04a".into(), "fnv:00000000000000aa".into()),
                         ("fig04b".into(), "fnv:00000000000000bb".into()),
                     ],
                 },
-                GoldenJob { id: "fig07".into(), counters: "fnv:ffffffffffffffff".into(), figures: vec![] },
+                GoldenJob {
+                    id: "fig07".into(),
+                    counters: "fnv:ffffffffffffffff".into(),
+                    profile: "fnv:00000000000000dd".into(),
+                    figures: vec![],
+                },
             ],
         };
         let j = g.to_json();
@@ -187,8 +227,11 @@ mod tests {
     fn from_json_rejects_malformed_goldens() {
         assert!(Goldens::from_json("{}").is_err());
         assert!(Goldens::from_json("{\"schema\": \"other/1\", \"profile\": \"p\", \"jobs\": []}").is_err());
+        // Schema 1 files (no per-job profile digest) must be re-recorded,
+        // not silently half-parsed.
+        assert!(Goldens::from_json("{\"schema\": \"sgx-bench-goldens/1\", \"profile\": \"p\", \"jobs\": []}").is_err());
         assert!(Goldens::from_json(
-            "{\"schema\": \"sgx-bench-goldens/1\", \"profile\": \"p\", \"jobs\": [{\"id\": \"x\"}]}"
+            "{\"schema\": \"sgx-bench-goldens/2\", \"profile\": \"p\", \"jobs\": [{\"id\": \"x\"}]}"
         )
         .is_err());
     }

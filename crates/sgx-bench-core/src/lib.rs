@@ -43,6 +43,7 @@ pub mod percentile;
 pub mod profiles;
 pub mod report;
 pub mod runner;
+pub mod simbench;
 
 pub use percentile::Histogram;
 pub use profiles::{BenchProfile, RunOpts};

@@ -35,16 +35,19 @@ use std::path::PathBuf;
 /// the variant generator's own RNG). `numa.rs` and `des.rs` are
 /// deliberately marker- and pragma-bearing (charge-module with an
 /// allow(charge-escape) waiver; des-module): they prove the transforms
-/// keep marker/pragma adjacency intact. Kept deliberately short — the
-/// full workspace sweep is a manual `sgx-lint selfcheck crates/...`
-/// away.
-pub const DEFAULT_FILES: [&str; 6] = [
+/// keep marker/pragma adjacency intact. `cache.rs` and `fastdiv.rs`
+/// cover the hot-path rewrite's packed-metadata cache and the
+/// Lemire-style fastmod helper. Kept deliberately short — the full
+/// workspace sweep is a manual `sgx-lint selfcheck crates/...` away.
+pub const DEFAULT_FILES: [&str; 8] = [
     "crates/sgx-serve/src/counters.rs",
     "crates/sgx-serve/src/spec.rs",
     "crates/sgx-serve/src/costs.rs",
     "crates/sgx-bench-core/src/percentile.rs",
     "crates/sgx-sim/src/machine/numa.rs",
     "crates/sgx-serve/src/des.rs",
+    "crates/sgx-sim/src/cache.rs",
+    "crates/sgx-sim/src/fastdiv.rs",
 ];
 
 /// Scorer options.

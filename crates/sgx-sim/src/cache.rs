@@ -5,25 +5,52 @@
 //! L2 per core, shared L3 per socket). Only tags are stored — data lives in
 //! the `SimVec` backing buffers — so a cache access is a handful of array
 //! probes.
+//!
+//! # Hot-path layout
+//!
+//! All replacement metadata lives in one `u64` blob, one fixed-stride
+//! block per set: `[tags; ways][lru; ways][dirty bitmask]`, padded to a
+//! 64-byte multiple. A probe scans the dense tag run; a victim scan reads
+//! the adjacent LRU run — the whole set is a handful of *contiguous* host
+//! cache lines, which matters because the L3 model's metadata is far
+//! larger than the host L1/L2 and random probes into three scattered
+//! parallel arrays cost three distant host misses each. Set selection is
+//! a mask when the set count is a power of two (every shipped profile),
+//! with a plain `%` fallback so arbitrary `scaled()` factors stay exact.
+//!
+//! # Victim selection invariant
+//!
+//! Invalid ways keep `lru == 0` and valid ways always have `lru >= 1`
+//! (the stamp pre-increments from 0), so the historical selection rule —
+//! tag match > first invalid way > first minimal-LRU valid way — reduces
+//! to *first strict minimum of the LRU run*: every invalid way ties at 0
+//! ahead of any valid way, and valid stamps are unique. That makes the
+//! victim scan a branchless running minimum, with no per-way invalid
+//! test. [`Cache::flush`] and [`Cache::invalidate`] re-zero the LRU word
+//! when they clear a tag to uphold the invariant. The selection and the
+//! stamp sequence are bit-identical to the historical three-pass
+//! implementation, which the golden digests and the property tests in
+//! `tests/proptest_cache.rs` pin down.
 
 use crate::config::{CacheConfig, CACHE_LINE};
 
-#[derive(Debug, Clone, Copy, Default)]
-struct Way {
-    /// Line address (byte address / 64); `u64::MAX` = invalid.
-    tag: u64,
-    /// LRU stamp: larger = more recently used.
-    lru: u64,
-    dirty: bool,
-    valid: bool,
-}
+/// Tag value marking an invalid way. Real tags are line addresses, which
+/// stay far below `2^40` (region bases top out at `9 << 40` bytes).
+const INVALID: u64 = u64::MAX;
 
 /// One cache level.
 #[derive(Debug)]
 pub struct Cache {
     ways: usize,
     sets: usize,
-    slots: Vec<Way>,
+    /// `sets - 1` when `sets` is a power of two, else `usize::MAX` to
+    /// select the modulo fallback in [`Cache::set_of`].
+    set_mask: usize,
+    /// Words per set block: `2 * ways + 1` rounded up to a multiple of 8,
+    /// so blocks stay 64-byte aligned relative to the blob start.
+    stride: usize,
+    /// Per-set metadata blocks: `[tags; ways][lru; ways][dirty mask]`.
+    meta: Vec<u64>,
     stamp: u64,
 }
 
@@ -42,23 +69,42 @@ impl Cache {
     /// Build a cache level from its configuration.
     pub fn new(cfg: &CacheConfig) -> Cache {
         let sets = cfg.sets();
-        Cache { ways: cfg.ways, sets, slots: vec![Way::default(); sets * cfg.ways], stamp: 0 }
+        let ways = cfg.ways;
+        let set_mask = if sets.is_power_of_two() { sets - 1 } else { usize::MAX };
+        assert!(ways <= 64, "dirty bitmask holds at most 64 ways");
+        let stride = (2 * ways + 1).next_multiple_of(8);
+        let mut meta = vec![0u64; sets * stride];
+        for set in 0..sets {
+            meta[set * stride..set * stride + ways].fill(INVALID);
+        }
+        Cache { ways, sets, set_mask, stride, meta, stamp: 0 }
     }
 
     #[inline]
     fn set_of(&self, line: u64) -> usize {
-        (line as usize) % self.sets
+        if self.set_mask != usize::MAX {
+            (line as usize) & self.set_mask
+        } else {
+            (line as usize) % self.sets
+        }
+    }
+
+    /// Offset of the set block holding `line`.
+    #[inline]
+    fn base_of(&self, line: u64) -> usize {
+        self.set_of(line) * self.stride
     }
 
     /// Probe for `line`; on hit, refresh LRU and optionally mark dirty.
     #[inline]
     pub fn access(&mut self, line: u64, write: bool) -> bool {
-        let s = self.set_of(line) * self.ways;
+        let base = self.base_of(line);
         self.stamp += 1;
-        for w in &mut self.slots[s..s + self.ways] {
-            if w.valid && w.tag == line {
-                w.lru = self.stamp;
-                w.dirty |= write;
+        let tags = &self.meta[base..base + self.ways];
+        for (i, &t) in tags.iter().enumerate() {
+            if t == line {
+                self.meta[base + self.ways + i] = self.stamp;
+                self.meta[base + 2 * self.ways] |= (write as u64) << i;
                 return true;
             }
         }
@@ -67,45 +113,92 @@ impl Cache {
 
     /// Probe without updating replacement state (used by tests/inspection).
     pub fn contains(&self, line: u64) -> bool {
-        let s = self.set_of(line) * self.ways;
-        self.slots[s..s + self.ways].iter().any(|w| w.valid && w.tag == line)
+        let base = self.base_of(line);
+        self.meta[base..base + self.ways].contains(&line)
+    }
+
+    /// First strict minimum of the set's LRU run — the victim the
+    /// historical match > invalid > min-LRU selection would pick (see the
+    /// module docs for why the zero-LRU invariant collapses the three
+    /// rules into one branchless scan).
+    #[inline]
+    fn victim_way(&self, base: usize) -> usize {
+        let lru = &self.meta[base + self.ways..base + 2 * self.ways];
+        let mut vi = 0;
+        let mut vl = lru[0];
+        for (i, &l) in lru.iter().enumerate().skip(1) {
+            if l < vl {
+                vl = l;
+                vi = i;
+            }
+        }
+        vi
+    }
+
+    /// Fill `way` of the set at `base` with `line`, returning what it
+    /// displaced.
+    #[inline]
+    fn place(&mut self, base: usize, way: usize, line: u64, dirty: bool) -> Evicted {
+        let old = self.meta[base + way];
+        let mask = self.meta[base + 2 * self.ways];
+        let evicted = if old == INVALID {
+            Evicted::None
+        } else if mask & (1 << way) != 0 {
+            Evicted::Dirty(old)
+        } else {
+            Evicted::Clean(old)
+        };
+        self.meta[base + way] = line;
+        self.meta[base + self.ways + way] = self.stamp;
+        self.meta[base + 2 * self.ways] = (mask & !(1 << way)) | ((dirty as u64) << way);
+        evicted
     }
 
     /// Insert `line` (after a miss), evicting the LRU way if the set is
     /// full. Returns what was displaced.
+    ///
+    /// Reuses the line's own way if it is somehow present already (spilled
+    /// victims can race their own earlier copies), else places at
+    /// [`Cache::victim_way`].
+    #[inline]
     pub fn insert(&mut self, line: u64, dirty: bool) -> Evicted {
-        let s = self.set_of(line) * self.ways;
+        let base = self.base_of(line);
         self.stamp += 1;
-        let stamp = self.stamp;
-        let set = &mut self.slots[s..s + self.ways];
-        // Reuse the line's own slot if it is somehow present already.
-        if let Some(w) = set.iter_mut().find(|w| w.valid && w.tag == line) {
-            w.lru = stamp;
-            w.dirty |= dirty;
-            return Evicted::None;
+        let tags = &self.meta[base..base + self.ways];
+        for (i, &t) in tags.iter().enumerate() {
+            if t == line {
+                self.meta[base + self.ways + i] = self.stamp;
+                self.meta[base + 2 * self.ways] |= (dirty as u64) << i;
+                return Evicted::None;
+            }
         }
-        if let Some(w) = set.iter_mut().find(|w| !w.valid) {
-            *w = Way { tag: line, lru: stamp, dirty, valid: true };
-            return Evicted::None;
-        }
-        let victim = set
-            .iter_mut()
-            .min_by_key(|w| w.lru)
-            // sgx-lint: allow(panic-in-library) associativity >= 1 is validated at Cache::new, sets are never empty
-            .expect("cache sets always have at least one way");
-        let evicted =
-            if victim.dirty { Evicted::Dirty(victim.tag) } else { Evicted::Clean(victim.tag) };
-        *victim = Way { tag: line, lru: stamp, dirty, valid: true };
-        evicted
+        let way = self.victim_way(base);
+        self.place(base, way, line, dirty)
+    }
+
+    /// [`Cache::insert`] for a line the caller has just probed and missed,
+    /// with no intervening operations on this cache: the tag-match rescan
+    /// is skipped (the line cannot be present). Stamp sequence and victim
+    /// choice are identical to `insert`.
+    #[inline]
+    pub fn insert_miss(&mut self, line: u64, dirty: bool) -> Evicted {
+        debug_assert!(!self.contains(line), "insert_miss caller guarantees absence");
+        let base = self.base_of(line);
+        self.stamp += 1;
+        let way = self.victim_way(base);
+        self.place(base, way, line, dirty)
     }
 
     /// Remove a line if present, reporting whether it was dirty.
     pub fn invalidate(&mut self, line: u64) -> bool {
-        let s = self.set_of(line) * self.ways;
-        for w in &mut self.slots[s..s + self.ways] {
-            if w.valid && w.tag == line {
-                w.valid = false;
-                return w.dirty;
+        let base = self.base_of(line);
+        for i in 0..self.ways {
+            if self.meta[base + i] == line {
+                self.meta[base + i] = INVALID;
+                // Uphold the victim-selection invariant: invalid ways keep
+                // a zero LRU word.
+                self.meta[base + self.ways + i] = 0;
+                return self.meta[base + 2 * self.ways] & (1 << i) != 0;
             }
         }
         false
@@ -113,7 +206,14 @@ impl Cache {
 
     /// Number of currently valid lines (test helper).
     pub fn occupancy(&self) -> usize {
-        self.slots.iter().filter(|w| w.valid).count()
+        (0..self.sets)
+            .map(|s| {
+                self.meta[s * self.stride..s * self.stride + self.ways]
+                    .iter()
+                    .filter(|&&t| t != INVALID)
+                    .count()
+            })
+            .sum()
     }
 
     /// Maximum number of lines the cache can hold.
@@ -123,13 +223,12 @@ impl Cache {
 
     /// Drop all contents (used between experiment repetitions).
     pub fn flush(&mut self) {
-        for w in &mut self.slots {
-            w.valid = false;
-            w.dirty = false;
+        self.meta.fill(0);
+        for set in 0..self.sets {
+            self.meta[set * self.stride..set * self.stride + self.ways].fill(INVALID);
         }
     }
 }
-
 /// Per-core stream-prefetcher model: tracks up to `SLOTS` independent
 /// sequential streams; a DRAM fill that continues a tracked stream is
 /// considered prefetched (bandwidth-bound instead of latency-bound).

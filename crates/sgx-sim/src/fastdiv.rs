@@ -1,0 +1,95 @@
+//! Exact strength-reduced remainders for the simulator hot path.
+//!
+//! The per-access pipeline computes two kinds of modulo: cache set
+//! selection (`line % sets`) and the TLB slot probe (`page % entries`).
+//! Both sit inside loops that run once per simulated cache line, and a
+//! 64-bit integer division costs tens of host cycles. [`FastMod`]
+//! removes the division while returning *bit-identical* results:
+//!
+//! * power-of-two divisors reduce to a mask;
+//! * other divisors use Lemire's fastmod (a 64-bit magic multiply),
+//!   which is exact for all `n < 2^32` — and falls back to a real `%`
+//!   for larger operands, so the result is always exact.
+//!
+//! Simulated addresses top out well under `2^44` (region bases are
+//! `(index + 1) << 40` with at most 8 regions), so page numbers
+//! (`addr / 4096 < 2^32`) always take the magic-multiply path; the
+//! fallback only exists to keep the function total.
+
+/// Precomputed remainder-by-constant: `rem(n) == n % d` for every `n`.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct FastMod {
+    d: u64,
+    /// `ceil(2^64 / d)` (Lemire's magic constant); unused for powers of
+    /// two.
+    magic: u64,
+    /// `d - 1` when `d` is a power of two, else `u64::MAX` as a
+    /// "use the magic path" sentinel.
+    mask: u64,
+}
+
+impl FastMod {
+    /// Build the constants for divisor `d` (must be non-zero).
+    pub fn new(d: u64) -> FastMod {
+        assert!(d > 0, "FastMod divisor must be non-zero");
+        let mask = if d.is_power_of_two() { d - 1 } else { u64::MAX };
+        // For d == 1 the mask path answers 0 before magic is consulted.
+        let magic = (u64::MAX / d).wrapping_add(1);
+        FastMod { d, magic, mask }
+    }
+
+    /// `n % d`, exactly.
+    #[inline]
+    pub fn rem(&self, n: u64) -> u64 {
+        if self.mask != u64::MAX {
+            return n & self.mask;
+        }
+        if n <= u32::MAX as u64 {
+            // Lemire fastmod: frac = n * magic mod 2^64 holds the
+            // fractional part of n/d scaled by 2^64; multiplying by d and
+            // keeping the high word recovers the remainder (exact for
+            // n, d < 2^32).
+            let frac = self.magic.wrapping_mul(n);
+            ((frac as u128 * self.d as u128) >> 64) as u64
+        } else {
+            n % self.d
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_modulo_for_hot_path_divisors() {
+        // The divisors the simulator actually uses: TLB entries (full and
+        // /16-scaled profiles) and cache set counts.
+        for d in [1u64, 2, 3, 4, 64, 96, 1024, 1536, 2048, 32768, 12345] {
+            let fm = FastMod::new(d);
+            for n in (0u64..5000).chain([
+                u32::MAX as u64 - 1,
+                u32::MAX as u64,
+                u32::MAX as u64 + 1,
+                1 << 40,
+                (9u64 << 40) + 12345,
+                u64::MAX,
+            ]) {
+                assert_eq!(fm.rem(n), n % d, "n={n} d={d}");
+            }
+        }
+    }
+
+    #[test]
+    fn dense_sweep_around_divisor_multiples() {
+        for d in [96u64, 1536] {
+            let fm = FastMod::new(d);
+            for k in [0u64, 1, 7, 1000, 44_000_000] {
+                let base = k * d;
+                for n in base.saturating_sub(2)..base + 2 * d + 2 {
+                    assert_eq!(fm.rem(n), n % d);
+                }
+            }
+        }
+    }
+}

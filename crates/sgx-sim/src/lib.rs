@@ -43,6 +43,7 @@
 pub mod cache;
 pub mod config;
 pub mod counters;
+pub(crate) mod fastdiv;
 pub mod faults;
 pub mod machine;
 pub mod mem;

@@ -162,6 +162,9 @@ struct CoreHw {
     streams: StreamDetector,
     /// Direct-mapped second-level TLB (page tags; `u64::MAX` = invalid).
     tlb: Vec<u64>,
+    /// Precomputed exact `page % tlb.len()` (the TLB entry counts of the
+    /// shipped profiles — 1536 full, 96 scaled — are not powers of two).
+    tlb_fm: crate::fastdiv::FastMod,
 }
 
 /// The simulated machine. Construct one per experiment repetition.
@@ -186,6 +189,10 @@ pub struct Machine {
     /// `profile::enabled()` is set on this thread; `None` (one branch per
     /// commit) otherwise.
     prof: Option<Box<crate::profile::ProfCtx>>,
+    /// Testing/measurement hook: when set, stream touches always take the
+    /// per-line slow path (the fast path's oracle); see
+    /// [`Machine::force_stream_oracle`].
+    stream_oracle: bool,
 }
 
 /// Handle through which operator code charges work while running on one

@@ -8,7 +8,7 @@
 
 use crate::cache::line_of;
 use crate::config::CACHE_LINE;
-use crate::mem::{ExecMode, Region, SimVec};
+use crate::mem::{ExecMode, Region, SimVec, REGION_SHIFT};
 use crate::profile::CostCategory;
 
 use super::core::{Charge, Tally};
@@ -116,6 +116,17 @@ impl<'m> Core<'m> {
     /// at `addr`, plus `elems` element-level load/store issues, using the
     /// vector flag to pick scalar or 512-bit issue costs. Used by the
     /// `SimVec` stream APIs.
+    ///
+    /// Two equivalent resolution paths feed the one pooled charge (see
+    /// DESIGN.md §15): the fast path hoists the run's region
+    /// classification and per-line cost constants out of the line loop,
+    /// and is selected only when that hoist is provably invariant — no
+    /// fault engine installed (an AEX can flush the TLB/L1, and the EPC
+    /// balloon can install a pager, between any two committed lines) and
+    /// every line of the run in one region. Otherwise the historical
+    /// per-line loop runs verbatim; it is the oracle the fast path is
+    /// checked against (`machine::tests` drives both over identical
+    /// sequences via [`Machine::force_stream_oracle`]).
     pub(crate) fn stream_touch(
         &mut self,
         addr: u64,
@@ -124,7 +135,6 @@ impl<'m> Core<'m> {
         write: bool,
         vector: bool,
     ) {
-        let kind = if write { AccessKind::Store } else { AccessKind::Load };
         if write {
             self.m.counters.stores += elems;
         } else {
@@ -132,15 +142,54 @@ impl<'m> Core<'m> {
         }
         self.m.counters.stream_lines += lines;
         let first = line_of(addr);
-        let mut line_cost_total = 0.0;
-        let mut any_dram = false;
-        let mut cats = [0.0f64; 9];
-        for line in first..first + lines {
-            let (c, dram, cat) = self.resolve_stream_line(line, kind);
-            line_cost_total += c;
-            any_dram |= dram;
-            cats[cat.index()] += c;
+        if lines == 1 {
+            // Single-line touch — the cadence `read_stream` and the
+            // incremental reader/writer produce for every line. The
+            // per-line resolver is the fast path *and* the oracle here
+            // (nothing to hoist over one line), and the dominant-category
+            // pick collapses: only Compute (issue cost) and the one
+            // category that served the line are populated, so the
+            // first-strictly-greater scan reduces to a two-way compare
+            // with the lowest-index (Compute) tie-break.
+            let kind = if write { AccessKind::Store } else { AccessKind::Load };
+            let (c, dram, cat) = self.resolve_stream_line(first, kind);
+            let issue = if vector { VEC_ISSUE } else { STREAM_ELEM_ISSUE };
+            let per_elem_tax = if !write && dram && self.m.mode == ExecMode::Enclave {
+                ENCLAVE_STREAM_LOAD_TAX
+            } else {
+                0.0
+            };
+            let n_issues = if vector { 1 } else { elems };
+            let issue_cost = n_issues as f64 * (issue + per_elem_tax);
+            let dom = if c > issue_cost { cat } else { CostCategory::Compute };
+            self.commit(Charge { cycles: c + issue_cost, tally: Tally::Cycles(dom) });
+            return;
         }
+        let last_addr = addr + lines.saturating_sub(1) * CACHE_LINE as u64;
+        let fast = self.m.faults.is_none()
+            && !self.m.stream_oracle
+            && (addr >> REGION_SHIFT) == (last_addr >> REGION_SHIFT);
+        let mut cats = [0.0f64; 9];
+        let (line_cost_total, any_dram) = if fast {
+            let run = self.resolve_stream_run(first, lines, write);
+            // The partial sums were folded per line in line order, so the
+            // rebuilt category array is bitwise what the slow loop's
+            // per-line `cats[cat.index()] += c` would hold.
+            cats[CostCategory::Cache.index()] = run.cache_sum;
+            cats[run.dram_cat.index()] += run.dram_sum;
+            (run.total, run.any_dram)
+        } else {
+            let kind = if write { AccessKind::Store } else { AccessKind::Load };
+            let mut total = 0.0;
+            let mut any_dram = false;
+            for line in first..first + lines {
+                let (c, dram, cat) = self.resolve_stream_line(line, kind);
+                total += c;
+                any_dram |= dram;
+                cats[cat.index()] += c;
+            }
+            (total, any_dram)
+        };
         let issue = if vector { VEC_ISSUE } else { STREAM_ELEM_ISSUE };
         // The enclave per-load tax only applies to demand fills the MEE
         // touches: cache-resident streams run at parity (Fig 12/15).
@@ -158,6 +207,18 @@ impl<'m> Core<'m> {
             cycles: line_cost_total + issue_cost,
             tally: Tally::Cycles(CostCategory::dominant(&cats)),
         });
+    }
+}
+
+impl super::Machine {
+    /// Force every stream touch down the per-line slow path — the fast
+    /// path's oracle. Verification/measurement hook: the machine property
+    /// tests drive a forced-slow machine and a default machine over
+    /// identical access sequences and require bit-identical clocks and
+    /// counters, and `sim_bench` uses it to report the fast path's
+    /// speedup. Simulated results are unaffected by construction.
+    pub fn force_stream_oracle(&mut self, slow: bool) {
+        self.stream_oracle = slow;
     }
 }
 
@@ -203,15 +264,17 @@ impl<T: Copy> SimVec<T> {
             return;
         }
         let per_line = (CACHE_LINE / Self::elem_size()).max(1);
+        let data = self.as_slice_untracked();
         let mut i = range.start;
         while i < range.end {
             // Elements up to the next line boundary.
             let line_end = (i / per_line + 1) * per_line;
             let hi = line_end.min(range.end);
             core.stream_touch(self.addr(i), 1, (hi - i) as u64, false, false);
-            for j in i..hi {
+            // One bounds check per line, not per element.
+            for (k, &x) in data[i..hi].iter().enumerate() {
                 core.poison_context();
-                f(core, j, self.peek(j));
+                f(core, i + k, x);
             }
             i = hi;
         }

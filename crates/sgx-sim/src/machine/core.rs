@@ -65,6 +65,7 @@ impl Machine {
                 l2: Cache::new(&cfg.l2),
                 streams: StreamDetector::new(),
                 tlb: vec![u64::MAX; cfg.mem.tlb_entries.max(1)],
+                tlb_fm: crate::fastdiv::FastMod::new(cfg.mem.tlb_entries.max(1) as u64),
             })
             .collect();
         let l3 = (0..cfg.sockets).map(|_| Cache::new(&cfg.l3)).collect();
@@ -85,6 +86,7 @@ impl Machine {
             faults: None,
             core_clock: vec![0.0; cfg.total_cores()],
             prof: crate::profile::enabled().then(|| Box::new(ProfCtx::new())),
+            stream_oracle: false,
             cfg,
         }
     }
@@ -516,14 +518,16 @@ impl<'m> Core<'m> {
         if g.count == 0 {
             return;
         }
-        let p = self.m.cfg.pipeline;
-        let mem = self.m.cfg.mem;
+        if self.m.mode == ExecMode::Enclave {
+            self.m.counters.enclave_groups += 1;
+        }
+        let p = &self.m.cfg.pipeline;
+        let mem = &self.m.cfg.mem;
         let cost = match self.m.mode {
             ExecMode::Native => {
                 (g.near_sum / p.ilp_native).max(g.far_sum / mem.mlp_native)
             }
             ExecMode::Enclave => {
-                self.m.counters.enclave_groups += 1;
                 let near = g.near_max + (g.near_sum - g.near_max) / p.ilp_enclave_group;
                 near.max(g.far_sum / mem.mlp_enclave) + p.enclave_group_overhead
             }
@@ -552,8 +556,10 @@ impl<'m> Core<'m> {
             g.cats[c.cat.index()] += c.near + c.far;
             return;
         }
-        let p = self.m.cfg.pipeline;
-        let mem = self.m.cfg.mem;
+        // References, not struct copies — `post` runs once per random
+        // access and the config blocks are ~20 fields wide.
+        let p = &self.m.cfg.pipeline;
+        let mem = &self.m.cfg.mem;
         let cost = match self.m.mode {
             ExecMode::Native => (c.near / p.ilp_native).max(c.far / mem.mlp_native),
             ExecMode::Enclave => {

@@ -464,3 +464,59 @@ fn run_on_pins_to_socket() {
         assert_eq!(c.socket(), 1);
     });
 }
+
+/// Drive one machine through a deterministic mixed workload — multi-line
+/// stream touches of varying length and direction, random reads/writes,
+/// and compute — and return its full observable state (every counter plus
+/// the bit pattern of the wall clock).
+fn stream_workload_state(mut m: Machine, oracle: bool) -> (String, u64) {
+    m.force_stream_oracle(oracle);
+    let mut v = m.alloc::<u64>(1 << 15); // 256 KB: 4096 lines, 64 pages
+    m.run(|c| {
+        let mut x = 0x5EED_CAFEu64 | 1;
+        for i in 0..400u64 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let lines = 1 + (x >> 7) % 24;
+            let start_line = (x >> 33) % (4096 - 24);
+            let addr = v.addr((start_line * 8) as usize);
+            let write = x & 1 == 0;
+            c.stream_touch(addr, lines, lines * 8, write, x & 2 == 0);
+            v.set(c, ((x >> 13) as usize) % (1 << 15), i);
+            let _ = v.get(c, ((x >> 21) as usize) % (1 << 15));
+            c.compute(3);
+        }
+    });
+    (format!("{:?}", m.counters()), m.wall_cycles().to_bits())
+}
+
+/// The stream fast path (hoisted same-region runs, `resolve_stream_run`)
+/// must be bit-identical to the per-line slow loop it replaces, across
+/// every enclave variant that arms per-line work: plain native, EPC data,
+/// a sealed (EDMM) enclave, and an SGXv1 machine whose pager commits
+/// page-fault charges mid-run.
+#[test]
+fn stream_fast_path_matches_per_line_oracle() {
+    let variants: Vec<(&str, Box<dyn Fn() -> Machine>)> = vec![
+        ("native", Box::new(|| machine(Setting::PlainCpu))),
+        ("epc", Box::new(|| machine(Setting::SgxDataInEnclave))),
+        ("sealed", Box::new(|| {
+            let mut m = machine(Setting::SgxDataInEnclave);
+            m.seal_enclave();
+            m
+        })),
+        ("sgxv1", Box::new(|| {
+            Machine::new(xeon_gold_6326().scaled(16).sgxv1(), Setting::SgxDataInEnclave)
+        })),
+    ];
+    for (name, build) in variants {
+        let fast = stream_workload_state(build(), false);
+        let slow = stream_workload_state(build(), true);
+        assert_eq!(fast.0, slow.0, "{name}: counters diverge between fast path and oracle");
+        assert_eq!(
+            fast.1, slow.1,
+            "{name}: wall clock diverges between fast path and oracle ({} vs {})",
+            f64::from_bits(fast.1),
+            f64::from_bits(slow.1)
+        );
+    }
+}

@@ -17,6 +17,12 @@ pub enum ExecMode {
     Enclave,
 }
 
+/// Regions are laid out 1 TiB apart: `addr >> REGION_SHIFT` identifies
+/// the region of any simulated address (the access fast path compares
+/// these shifted prefixes directly to prove a line run stays within one
+/// region).
+pub(crate) const REGION_SHIFT: u32 = 40;
+
 /// Where data physically lives.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Region {
@@ -52,12 +58,13 @@ impl Region {
     /// Base virtual address of the region (1 TiB apart, so a region is
     /// recoverable from any address).
     pub(crate) fn base(self) -> u64 {
-        ((self.index() as u64) + 1) << 40
+        ((self.index() as u64) + 1) << REGION_SHIFT
     }
 
     /// Recover the region an address belongs to.
+    #[inline]
     pub(crate) fn of_addr(addr: u64) -> Region {
-        Region::from_index(((addr >> 40) - 1) as usize)
+        Region::from_index(((addr >> REGION_SHIFT) - 1) as usize)
     }
 }
 

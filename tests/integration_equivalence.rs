@@ -6,12 +6,15 @@
 //! `cargo run --release -p bench --bin record_goldens` on the
 //! pre-refactor (monolithic `machine.rs`, sequential harness) tree under
 //! `BenchProfile::golden()`. These tests re-run the full registry — once
-//! sequentially and once on 4 worker threads — and assert both runs
-//! reproduce every golden digest exactly: every figure's JSON bytes and
-//! every job's counter report. A mismatch means the cost model drifted;
-//! re-record goldens only for a *deliberate* model change.
+//! sequentially and once on 4 worker threads, with per-job cycle
+//! profiling on — and assert both runs reproduce every golden digest
+//! exactly: every figure's JSON bytes, every job's counter report, and
+//! every job's `<job>.profile.json` bytes (so a hot-path rewrite cannot
+//! shift cycles between `CostCategory` bins unnoticed). A mismatch means
+//! the cost model drifted; re-record goldens only for a *deliberate*
+//! model change.
 
-use sgx_bench_core::golden::{counters_digest, figure_digest, Goldens};
+use sgx_bench_core::golden::{counters_digest, figure_digest, profile_digest, Goldens};
 use sgx_bench_core::runner::{
     registry, run_registry, FigureJob, JobFilter, JobOutcome, JobStatus, Manifest, RunConfig,
 };
@@ -40,6 +43,13 @@ fn assert_matches_goldens(goldens: &Goldens, outcomes: &[JobOutcome], label: &st
             "{label}: counter totals of job {} drifted from the pre-refactor model",
             o.id
         );
+        let prof = o.profile.as_ref().expect("equivalence runs are profiled");
+        assert_eq!(
+            profile_digest(&o.id, prof),
+            g.profile,
+            "{label}: cycle attribution of job {} shifted between CostCategory bins",
+            o.id
+        );
         let got: Vec<(String, String)> =
             o.figures.iter().map(|f| (f.id.clone(), figure_digest(f))).collect();
         assert_eq!(
@@ -60,16 +70,19 @@ fn sequential_and_parallel_runs_reproduce_pre_refactor_goldens() {
     );
     let reg = registry();
     let profile = BenchProfile::golden();
-    let seq = run_registry(&reg, &profile, &RunConfig { jobs: 1, ..RunConfig::default() });
-    let par = run_registry(&reg, &profile, &RunConfig { jobs: 4, ..RunConfig::default() });
+    let seq = run_registry(&reg, &profile, &RunConfig { jobs: 1, profile: true, ..RunConfig::default() });
+    let par = run_registry(&reg, &profile, &RunConfig { jobs: 4, profile: true, ..RunConfig::default() });
     assert_matches_goldens(&goldens, &seq, "sequential");
     assert_matches_goldens(&goldens, &par, "parallel(4)");
-    // Stronger than digest equality: the emitted figure bytes themselves
-    // must be identical between scheduling modes.
+    // Stronger than digest equality: the emitted figure and profile bytes
+    // themselves must be identical between scheduling modes.
     for (a, b) in seq.iter().zip(&par) {
         let aj: Vec<String> = a.figures.iter().map(|f| f.to_json()).collect();
         let bj: Vec<String> = b.figures.iter().map(|f| f.to_json()).collect();
         assert_eq!(aj, bj, "figure JSON of job {} differs across --jobs", a.id);
+        let ap = sgx_bench_core::report::profile_json(&a.id, a.profile.as_ref().unwrap());
+        let bp = sgx_bench_core::report::profile_json(&b.id, b.profile.as_ref().unwrap());
+        assert_eq!(ap, bp, "profile JSON of job {} differs across --jobs", a.id);
     }
     // And the normalized manifests are byte-identical (raw manifests may
     // differ only in wall seconds).
