@@ -292,13 +292,75 @@ if "$SB" --scale 256 --overload 8 --no-admission --expect-shedding >/dev/null 2>
 fi
 rm -rf "$SVC_TMP"
 
+echo "== ci: storage path smoke (byte-identical across two runs and --jobs 1 vs 4)"
+STO_TMP=$(mktemp -d)
+"$BIN" --only ext_storage_path --scale 256 --reps 1 --jobs 1 >/dev/null
+mkdir -p "$STO_TMP/run1"
+cp target/figures/ext_storage_path*.json "$STO_TMP/run1/"
+"$BIN" --only ext_storage_path --scale 256 --reps 1 --jobs 4 >/dev/null
+for f in "$STO_TMP"/run1/*.json; do
+    name=$(basename "$f")
+    if ! cmp -s "$f" "target/figures/$name"; then
+        echo "ci: FAIL — $name differs across storage-path runs/--jobs" >&2
+        exit 1
+    fi
+done
+rm -rf "$STO_TMP"
+
+# Pick the two highest-numbered BENCH_pr<N>.json trajectory files in $1,
+# oldest first, one per line. Extracts <N> by stripping the literal
+# prefix/suffix and refuses to proceed if what remains is not a pure
+# decimal number: the old `sort -t'r' -k2 -n` hack split on the letter
+# 'r' (field 2 of BENCH_pr10.json is empty), silently falling back to
+# lexical order, so pr9 sorted after pr10 and the gate compared the
+# wrong PRs.
+pick_trend_files() {
+    _dir=$1
+    _rows=""
+    for _f in "$_dir"/BENCH_pr*.json; do
+        [ -e "$_f" ] || return 0
+        _base=$(basename "$_f")
+        _n=${_base#BENCH_pr}
+        _n=${_n%.json}
+        case "$_n" in
+            ''|*[!0-9]*)
+                echo "ci: FAIL — unparseable trajectory name '$_base' (want BENCH_pr<number>.json)" >&2
+                return 1
+                ;;
+        esac
+        _rows="$_rows$_n $_base
+"
+    done
+    printf '%s' "$_rows" | sort -n -k1,1 | tail -2 | while read -r _n _base; do
+        echo "$_dir/$_base"
+    done
+}
+
+echo "== ci: perf-trend file-picker checks (numeric order, malformed names fail)"
+TREND_TMP=$(mktemp -d)
+echo '{}' > "$TREND_TMP/BENCH_pr9.json"
+echo '{}' > "$TREND_TMP/BENCH_pr10.json"
+PICKED=$(pick_trend_files "$TREND_TMP")
+WANT="$TREND_TMP/BENCH_pr9.json
+$TREND_TMP/BENCH_pr10.json"
+if [ "$PICKED" != "$WANT" ]; then
+    echo "ci: FAIL — trend picker must order pr9 before pr10 (numeric, not lexical); got: $PICKED" >&2
+    exit 1
+fi
+echo '{}' > "$TREND_TMP/BENCH_prX.json"
+if pick_trend_files "$TREND_TMP" >/dev/null 2>&1; then
+    echo "ci: FAIL — malformed BENCH_pr name must fail the trend picker" >&2
+    exit 1
+fi
+rm -rf "$TREND_TMP"
+
 echo "== ci: perf-trend gate (latest two BENCH_*.json, watched rows via sim_bench --trend)"
 # Compare the two newest checked-in trajectory files on the watched rows
 # (join-smoke, scan-smoke): a >30 % events/sec drop fails CI. Wall-clock
 # throughput is only comparable on a multi-core host of the trajectory's
 # class; on a 1-CPU container the gate still runs but demotes a trip to a
 # loud warning (--warn-only) instead of a failure.
-TREND_FILES=$(ls BENCH_pr*.json 2>/dev/null | sort -t'r' -k2 -n | tail -2)
+TREND_FILES=$(pick_trend_files .)
 if [ "$(printf '%s\n' $TREND_FILES | wc -l)" -lt 2 ]; then
     echo "ci: perf-trend gate skipped — need at least two BENCH_pr*.json files"
 else

@@ -13,7 +13,13 @@
 //! * `linear-scan` — a parallel 64-bit linear read;
 //! * `random-access` — an LCG-driven random-store microloop (the
 //!   `Core::access` path with no stream component);
-//! * `tpch-q3` — the TPC-H Q3 plan at SF 0.01 (mixed operator soup).
+//! * `tpch-q3` — the TPC-H Q3 plan at SF 0.01 (mixed operator soup);
+//! * `ext-sort` — external merge sort (run formation + k-way merge with
+//!   charged spill/reload);
+//! * `dict-scan` / `rle-scan` — decompress-inside-enclave scan kernels
+//!   over dictionary- and RLE-coded columns;
+//! * `storage-path` — the sealed storage data path (GCM unseal + filter
+//!   + grouped aggregate over a dict-coded column).
 //!
 //! Every row is warmup + median-of-N (N ≥ 5) with a real `±` spread from
 //! the min–max of the repetitions (see `sgx_bench_core::simbench`).
@@ -161,6 +167,58 @@ fn tpch_q3(oracle: bool) -> f64 {
     })
 }
 
+fn ext_sort(oracle: bool) -> f64 {
+    // ~2 MB of SortRows against the /16-scaled L3: several spilled runs,
+    // so both run formation and the k-way merge are on the clock.
+    let mut m = machine(oracle);
+    let n = 1usize << 17;
+    let mut v = m.alloc::<sgx_tpch::SortRow>(n);
+    let mut x = 0x5EEDu64 | 1;
+    for i in 0..n {
+        x = lcg_next(x);
+        v.poke(i, sgx_tpch::SortRow { key: x, tag: i as u32 });
+    }
+    rate(&mut m, |m| {
+        std::hint::black_box(sgx_tpch::external_merge_sort(m, &[0, 1], &v, n));
+    })
+}
+
+fn dict_scan(oracle: bool) -> f64 {
+    let mut m = machine(oracle);
+    let values = sgx_tpch::storage::clustered_column(1 << 18, 0xD1C7);
+    let col = sgx_tpch::DictColumn::encode(&mut m, &values);
+    rate(&mut m, |m| {
+        m.run(|c| {
+            let mut acc = 0u64;
+            col.scan(c, 0..col.len(), &mut |_c, _i, x| acc = acc.wrapping_add(x as u64));
+            std::hint::black_box(acc);
+        });
+    })
+}
+
+fn rle_scan(oracle: bool) -> f64 {
+    let mut m = machine(oracle);
+    let values = sgx_tpch::storage::clustered_column(1 << 18, 0x41E5);
+    let col = sgx_tpch::RleColumn::encode(&mut m, &values);
+    rate(&mut m, |m| {
+        m.run(|c| {
+            let mut acc = 0u64;
+            col.scan_runs(c, &mut |_c, v, l| acc = acc.wrapping_add(v as u64 * l as u64));
+            std::hint::black_box(acc);
+        });
+    })
+}
+
+fn storage_path(oracle: bool) -> f64 {
+    // Unseal (GCM-charged stream) + filter + group-count, dict layout.
+    let mut m = machine(oracle);
+    let values = sgx_tpch::storage::clustered_column(1 << 18, 0x5EA1);
+    let col = sgx_tpch::seal_column(&mut m, &values, sgx_tpch::StorageFormat::Dict);
+    rate(&mut m, |m| {
+        std::hint::black_box(sgx_tpch::storage_path_query(m, &[0, 1], &col, 128, 64));
+    })
+}
+
 /// The suite, in reporting order.
 const KERNELS: &[(&str, fn(bool) -> f64)] = &[
     ("join-smoke", join_smoke),
@@ -171,6 +229,10 @@ const KERNELS: &[(&str, fn(bool) -> f64)] = &[
     ("linear-scan", linear_scan),
     ("random-access", random_access),
     ("tpch-q3", tpch_q3),
+    ("ext-sort", ext_sort),
+    ("dict-scan", dict_scan),
+    ("rle-scan", rle_scan),
+    ("storage-path", storage_path),
 ];
 
 /// Rows the CI perf-trend gate watches across PRs.

@@ -14,6 +14,7 @@ pub mod joins;
 pub mod micro;
 pub mod scans;
 pub mod service;
+pub mod storage;
 pub mod table1;
 pub mod tpch;
 
@@ -31,5 +32,6 @@ pub use scans::{
     fig12_scan_single, fig13_scan_scaling, fig14_selectivity, fig15_linear, fig16_numa_scan,
 };
 pub use service::ext_service_tail;
+pub use storage::ext_storage_path;
 pub use table1::table1;
 pub use tpch::fig17_tpch;

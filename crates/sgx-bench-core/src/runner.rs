@@ -84,6 +84,7 @@ pub fn registry() -> Vec<FigureJob> {
         FigureJob { id: "ablation_radix_bits", run: |p| one(ex::ablation_radix_bits(p)) },
         FigureJob { id: "ext_aex_storm", run: |p| one(ex::ext_aex_storm(p)) },
         FigureJob { id: "ext_service_tail", run: ex::ext_service_tail },
+        FigureJob { id: "ext_storage_path", run: |p| one(ex::ext_storage_path(p)) },
     ]
 }
 
@@ -657,7 +658,7 @@ mod tests {
     #[test]
     fn registry_ids_are_unique_and_complete() {
         let jobs = registry();
-        assert_eq!(jobs.len(), 26);
+        assert_eq!(jobs.len(), 27);
         for (i, a) in jobs.iter().enumerate() {
             for b in &jobs[i + 1..] {
                 assert_ne!(a.id, b.id, "duplicate job id");
@@ -665,6 +666,7 @@ mod tests {
         }
         assert!(jobs.iter().any(|j| j.id == "ext_aex_storm"));
         assert!(jobs.iter().any(|j| j.id == "ext_service_tail"));
+        assert!(jobs.iter().any(|j| j.id == "ext_storage_path"));
     }
 
     #[test]

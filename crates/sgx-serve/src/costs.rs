@@ -93,8 +93,8 @@ impl CostTable {
         let scale = scale.max(1);
         let mut t = CostTable::new();
         let base: [(Query, &[u64]); 4] = [
-            (Query::Q3, &[40, 110, 220, 60, 170, 260]),
-            (Query::Q10, &[45, 90, 210, 55, 150, 280, 65, 20, 120]),
+            (Query::Q3, &[40, 110, 220, 60, 170, 260, 140, 80, 30]),
+            (Query::Q10, &[45, 90, 210, 55, 150, 280, 65, 20, 120, 95, 25]),
             (Query::Q12, &[80, 190, 240]),
             (Query::Q19, &[70, 160, 230, 90]),
         ];

@@ -8,8 +8,21 @@
 //! same repair) applies to aggregation.
 
 use crate::ops::charged_zero_fill;
-use sgx_joins::Row;
-use sgx_sim::{Machine, SimVec};
+use sgx_joins::{JoinTuple, Row};
+use sgx_sim::{Core, Machine, SimVec};
+
+/// Checked radix mask for a power-of-two group domain. One shared
+/// helper so the operator and its reference oracle can never disagree:
+/// the old per-site `groups as u32 - 1` silently truncated for
+/// `groups > 2^32` (the cast wrapped before the subtraction).
+pub fn group_mask(groups: usize) -> u32 {
+    assert!(groups.is_power_of_two(), "group domain must be a power of two");
+    debug_assert!(
+        groups - 1 <= u32::MAX as usize,
+        "group domain {groups} exceeds the u32 key space"
+    );
+    (groups - 1) as u32
+}
 
 /// Result of a grouped count.
 #[derive(Debug, Clone)]
@@ -32,9 +45,8 @@ pub fn group_count(
     groups: usize,
     optimized: bool,
 ) -> GroupCounts {
-    assert!(groups.is_power_of_two(), "group domain must be a power of two");
+    let mask = group_mask(groups);
     let t = cores.len();
-    let mask = groups as u32 - 1;
     let mut locals: Vec<SimVec<u64>> = (0..t).map(|_| machine.alloc::<u64>(groups)).collect();
     let start = machine.wall_cycles();
     machine.parallel(cores, |c| {
@@ -85,13 +97,87 @@ pub fn group_count(
 
 /// Uncharged reference grouping for verification.
 pub fn reference_group_count(rows: &SimVec<Row>, groups: usize) -> Vec<u64> {
-    let mask = groups as u32 - 1;
+    let mask = group_mask(groups);
     let mut counts = vec![0u64; groups];
     // sgx-lint: allow(untracked-access) uncharged reference oracle for verification
     for r in rows.as_slice_untracked() {
         counts[(r.key & mask) as usize] += 1;
     }
     counts
+}
+
+/// Result of a grouped sum over join output.
+#[derive(Debug, Clone)]
+pub struct GroupSums {
+    /// `sums[g]` = Σ value over tuples whose group id is `g`.
+    pub sums: Vec<u64>,
+    /// Wall cycles of the aggregation.
+    pub cycles: f64,
+}
+
+/// Parallel grouped sum over a materialized join result: `val` maps each
+/// tuple to `(group, value)` (doing any charged gathers it needs), and
+/// workers accumulate into private counter arrays before a streamed
+/// reduction — the same §4.2 histogram pattern as [`group_count`], so the
+/// same enclave penalty and the same unroll repair apply.
+pub fn group_sum_tuples(
+    machine: &mut Machine,
+    cores: &[usize],
+    jt: &SimVec<JoinTuple>,
+    runs: &[std::ops::Range<usize>],
+    groups: usize,
+    optimized: bool,
+    val: &dyn Fn(&mut Core, JoinTuple) -> (usize, u64),
+) -> GroupSums {
+    let mask = group_mask(groups) as usize;
+    let t = cores.len();
+    let mut locals: Vec<SimVec<u64>> = (0..t).map(|_| machine.alloc::<u64>(groups)).collect();
+    let start = machine.wall_cycles();
+    machine.parallel(cores, |c| {
+        let w = c.worker();
+        charged_zero_fill(c, &mut locals[w], groups);
+        for run in runs.iter().skip(w).step_by(t) {
+            if optimized {
+                let mut batch = [(0usize, 0u64); 8];
+                let mut fill = 0usize;
+                jt.read_stream(c, run.clone(), |c, _, tup| {
+                    c.compute(2);
+                    let (g, v) = val(c, tup);
+                    batch[fill] = (g & mask, v);
+                    fill += 1;
+                    if fill == 8 {
+                        c.group(|c| {
+                            for &(g, v) in &batch {
+                                locals[w].rmw(c, g, |e| *e += v);
+                            }
+                        });
+                        fill = 0;
+                    }
+                });
+                c.group(|c| {
+                    for &(g, v) in &batch[..fill] {
+                        locals[w].rmw(c, g, |e| *e += v);
+                    }
+                });
+            } else {
+                jt.read_stream(c, run.clone(), |c, _, tup| {
+                    c.compute(2);
+                    let (g, v) = val(c, tup);
+                    locals[w].rmw(c, g & mask, |e| *e += v);
+                });
+            }
+        }
+    });
+    let mut sums = vec![0u64; groups];
+    machine.run(|c| {
+        for local in &locals {
+            local.read_stream(c, 0..groups, |c, g, v| {
+                c.compute(1);
+                sums[g] += v;
+            });
+        }
+    });
+    GroupSums { sums, cycles: machine.wall_cycles() - start }
 }
 
 #[cfg(test)]
@@ -151,6 +237,41 @@ mod tests {
         let opt = run(Setting::SgxDataInEnclave, true);
         assert!(naive > 2.0 * native, "naive group-by collapses: {:.2}x", naive / native);
         assert!(opt < 1.45 * native, "unrolled group-by recovers: {:.2}x", opt / native);
+    }
+
+    #[test]
+    fn grouped_sums_match_reference() {
+        let mut m = machine(Setting::PlainCpu);
+        let n = 20_000;
+        let mut jt = m.alloc::<JoinTuple>(n);
+        for i in 0..n {
+            let k = (i as u32).wrapping_mul(2654435761);
+            jt.poke(i, JoinTuple { r_payload: k, s_payload: (i as u32) % 97 });
+        }
+        let runs = vec![0..7000usize, 7000..7000, 7000..n];
+        let groups = 64usize;
+        let mut expect = vec![0u64; groups];
+        for i in 0..n {
+            let t = jt.peek(i);
+            expect[(t.r_payload & group_mask(groups)) as usize] += u64::from(t.s_payload);
+        }
+        for optimized in [false, true] {
+            for threads in [1usize, 4] {
+                let g = group_sum_tuples(
+                    &mut m,
+                    &(0..threads).collect::<Vec<_>>(),
+                    &jt,
+                    &runs,
+                    groups,
+                    optimized,
+                    &|c, tup| {
+                        c.compute(1);
+                        (tup.r_payload as usize, u64::from(tup.s_payload))
+                    },
+                );
+                assert_eq!(g.sums, expect, "optimized={optimized} threads={threads}");
+            }
+        }
     }
 
     #[test]

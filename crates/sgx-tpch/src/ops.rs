@@ -28,7 +28,7 @@ pub fn charged_zero_fill<T: Copy + Default>(c: &mut Core<'_>, v: &mut SimVec<T>,
 }
 
 /// 64-aligned worker chunk of `0..n`.
-fn chunk(n: usize, t: usize, w: usize) -> std::ops::Range<usize> {
+pub(crate) fn chunk(n: usize, t: usize, w: usize) -> std::ops::Range<usize> {
     let per = n.div_ceil(t).div_ceil(64) * 64;
     let start = (w * per).min(n);
     start..((w + 1) * per).min(n)

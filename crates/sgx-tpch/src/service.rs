@@ -20,9 +20,11 @@
 use crate::gen::{date, TpchDb, FLAG_R, SEG_BUILDING};
 use crate::ops::{for_each_join_tuple, retuple, select_rows, Payload};
 use crate::queries::{
-    join, q12_line_pred, q19_joint_pred, q19_line_pred, q19_part_pred, Query, QueryConfig,
+    join, materialized_output, q10_agg_step, q10_order_step, q12_line_pred, q19_joint_pred,
+    q19_line_pred, q19_part_pred, q3_agg_step, q3_sort_step, q3_topk_step, Query, QueryConfig,
     QueryStats,
 };
+use crate::sort::SortRow;
 use sgx_joins::{JoinStats, Row};
 use sgx_sim::{Machine, SimVec};
 
@@ -55,13 +57,17 @@ pub struct ServiceJob {
 /// Explicit continuation of every plan: each variant holds exactly the
 /// intermediates the remaining operators need.
 enum State {
-    // Q3: customer(BUILDING) ⋈ orders(early) ⋈ lineitem(late).
+    // Q3: customer(BUILDING) ⋈ orders(early) ⋈ lineitem(late),
+    // then sort → per-order revenue → top-k.
     Q3SelCustomer,
     Q3SelOrders { cust: SimVec<Row> },
     Q3JoinCO { cust: SimVec<Row>, orders: SimVec<Row> },
     Q3Reshape { j1: JoinStats },
     Q3SelLineitem { co: SimVec<Row> },
     Q3JoinCOL { co: SimVec<Row>, line: SimVec<Row> },
+    Q3Sort { j2: JoinStats },
+    Q3AggRevenue { matches: u64, sorted: SimVec<SortRow> },
+    Q3TopK { matches: u64, groups: SimVec<SortRow>, glen: usize },
     // Q10: customer ⋈ orders(quarter) ⋈ lineitem(R) ⋈ nation.
     Q10ScanCustomer,
     Q10SelOrders { cust: SimVec<Row> },
@@ -72,6 +78,8 @@ enum State {
     Q10Reshape2 { j2: JoinStats },
     Q10ScanNation { col: SimVec<Row> },
     Q10JoinN { nation: SimVec<Row>, col: SimVec<Row> },
+    Q10AggRevenue { j3: JoinStats },
+    Q10OrderGroups { matches: u64, sums: Vec<u64> },
     // Q12: orders ⋈ lineitem(MAIL/SHIP, consistent dates).
     Q12ScanOrders,
     Q12SelLineitem { orders: SimVec<Row> },
@@ -105,8 +113,8 @@ impl ServiceJob {
     /// Number of operator steps in the full plan of `query`.
     pub fn steps_total(query: Query) -> usize {
         match query {
-            Query::Q3 => 6,
-            Query::Q10 => 9,
+            Query::Q3 => 9,
+            Query::Q10 => 11,
             Query::Q12 => 3,
             Query::Q19 => 4,
         }
@@ -140,13 +148,14 @@ impl ServiceJob {
             machine.ecall();
         }
         let state = std::mem::replace(&mut self.state, State::Finished);
-        let (next, op, cycles, count) = self.transition(machine, db, state);
+        let (next, op, cycles, result) = self.transition(machine, db, state);
         self.ops.push((op, cycles));
         self.state = next;
-        if let Some(count) = count {
+        if let Some((count, grouped)) = result {
             let start = self.start.unwrap_or(0.0);
             self.done = Some(QueryStats {
                 count,
+                grouped,
                 wall_cycles: machine.wall_cycles() - start,
                 ops: self.ops.clone(),
             });
@@ -161,6 +170,7 @@ impl ServiceJob {
         }
         self.done.clone().unwrap_or(QueryStats {
             count: 0,
+            grouped: Vec::new(),
             wall_cycles: 0.0,
             ops: Vec::new(),
         })
@@ -175,7 +185,7 @@ impl ServiceJob {
         machine: &mut Machine,
         db: &TpchDb,
         state: State,
-    ) -> (State, &'static str, f64, Option<u64>) {
+    ) -> (State, &'static str, f64, Option<(u64, Vec<(u32, u64)>)>) {
         let cfg = &self.cfg;
         let cores = &cfg.cores;
         match state {
@@ -215,8 +225,7 @@ impl ServiceJob {
                 (State::Q3Reshape { j1 }, "join c⋈o", t, None)
             }
             State::Q3Reshape { j1 } => {
-                // sgx-lint: allow(panic-in-library) join() always materializes when asked; a None output is a simulator bug, not an input condition
-                let jt1 = j1.output.as_ref().expect("materializing join returns output");
+                let jt1 = materialized_output(&j1);
                 let scope = machine.phase("reshape");
                 let (co, t) = retuple(machine, cores, jt1, &j1.output_runs, &|t| Row {
                     key: t.s_payload,
@@ -241,9 +250,22 @@ impl ServiceJob {
             }
             State::Q3JoinCOL { co, line } => {
                 let scope = machine.phase("join co⋈l");
-                let j2 = join(machine, &co, &line, cfg, true);
+                let j2 = join(machine, &co, &line, cfg, false);
                 drop(scope);
-                (State::Finished, "join co⋈l", j2.wall_cycles, Some(j2.matches))
+                let t = j2.wall_cycles;
+                (State::Q3Sort { j2 }, "join co⋈l", t, None)
+            }
+            State::Q3Sort { j2 } => {
+                let (sorted, t) = q3_sort_step(machine, cfg, &j2);
+                (State::Q3AggRevenue { matches: j2.matches, sorted }, "sort", t, None)
+            }
+            State::Q3AggRevenue { matches, sorted } => {
+                let (groups, glen, t) = q3_agg_step(machine, db, &sorted);
+                (State::Q3TopK { matches, groups, glen }, "agg revenue", t, None)
+            }
+            State::Q3TopK { matches, groups, glen } => {
+                let (grouped, t) = q3_topk_step(machine, cfg, &groups, glen);
+                (State::Finished, "top-k", t, Some((matches, grouped)))
             }
 
             // --- Q10 ---
@@ -285,8 +307,7 @@ impl ServiceJob {
                 (State::Q10Reshape1 { j1 }, "join c⋈o", t, None)
             }
             State::Q10Reshape1 { j1 } => {
-                // sgx-lint: allow(panic-in-library) join() always materializes when asked; a None output is a simulator bug, not an input condition
-                let jt1 = j1.output.as_ref().expect("materializing join returns output");
+                let jt1 = materialized_output(&j1);
                 // key: orderkey, payload: the customer's nationkey.
                 let scope = machine.phase("reshape");
                 let (co, t) = retuple(machine, cores, jt1, &j1.output_runs, &|t| Row {
@@ -317,8 +338,7 @@ impl ServiceJob {
                 (State::Q10Reshape2 { j2 }, "join co⋈l", t, None)
             }
             State::Q10Reshape2 { j2 } => {
-                // sgx-lint: allow(panic-in-library) join() always materializes when asked; a None output is a simulator bug, not an input condition
-                let jt2 = j2.output.as_ref().expect("materializing join returns output");
+                let jt2 = materialized_output(&j2);
                 // key: nationkey carried from the customer side.
                 let scope = machine.phase("reshape");
                 let (col, t) = retuple(machine, cores, jt2, &j2.output_runs, &|t| Row {
@@ -343,9 +363,18 @@ impl ServiceJob {
             }
             State::Q10JoinN { nation, col } => {
                 let scope = machine.phase("join ⋈n");
-                let j3 = join(machine, &nation, &col, cfg, true);
+                let j3 = join(machine, &nation, &col, cfg, false);
                 drop(scope);
-                (State::Finished, "join ⋈n", j3.wall_cycles, Some(j3.matches))
+                let t = j3.wall_cycles;
+                (State::Q10AggRevenue { j3 }, "join ⋈n", t, None)
+            }
+            State::Q10AggRevenue { j3 } => {
+                let (sums, t) = q10_agg_step(machine, db, cfg, &j3);
+                (State::Q10OrderGroups { matches: j3.matches, sums }, "agg revenue", t, None)
+            }
+            State::Q10OrderGroups { matches, sums } => {
+                let (grouped, t) = q10_order_step(machine, cfg, &sums);
+                (State::Finished, "order groups", t, Some((matches, grouped)))
             }
 
             // --- Q12 ---
@@ -384,7 +413,7 @@ impl ServiceJob {
                 let scope = machine.phase("join o⋈l");
                 let j = join(machine, &orders, &line, cfg, true);
                 drop(scope);
-                (State::Finished, "join o⋈l", j.wall_cycles, Some(j.matches))
+                (State::Finished, "join o⋈l", j.wall_cycles, Some((j.matches, Vec::new())))
             }
 
             // --- Q19 ---
@@ -422,8 +451,7 @@ impl ServiceJob {
                 (State::Q19PostFilter { j }, "join p⋈l", t, None)
             }
             State::Q19PostFilter { j } => {
-                // sgx-lint: allow(panic-in-library) join() always materializes when asked; a None output is a simulator bug, not an input condition
-                let jt = j.output.as_ref().expect("materializing join returns output");
+                let jt = materialized_output(&j);
                 let mut count = 0u64;
                 let scope = machine.phase("post filter");
                 let t = for_each_join_tuple(machine, cores, jt, &j.output_runs, |c, tup| {
@@ -436,7 +464,7 @@ impl ServiceJob {
                     }
                 });
                 drop(scope);
-                (State::Finished, "post filter", t, Some(count))
+                (State::Finished, "post filter", t, Some((count, Vec::new())))
             }
 
             State::Finished => (State::Finished, "done", 0.0, None),
@@ -452,24 +480,36 @@ impl ServiceJob {
 /// operators cost one unit per input row; join operators cost
 /// `per_join_row` units per row fed into a radix partition + build/probe
 /// (the §4.2 optimized variant streams partitions more cheaply, which is
-/// what makes it the degraded-mode plan of choice).
+/// what makes it the degraded-mode plan of choice); the Q3/Q10 ordered
+/// tails cost `per_sorted_row` units per join-output row driven through
+/// the external sort + revenue aggregation.
 pub fn cost_estimate(db: &TpchDb, q: Query, optimized: bool) -> f64 {
     let li = db.lineitem_len() as f64;
     let ord = db.orders.orderkey.len() as f64;
     let cust = db.customer.custkey.len() as f64;
     let part = db.part.partkey.len() as f64;
     let nation = db.nation.nationkey.len() as f64;
-    // (rows scanned, rows through joins); selectivities are the paper's
-    // fixed predicates, hard-coded as coarse fractions.
-    let (scanned, joined) = match q {
-        Query::Q3 => (cust + ord + li, 0.2 * cust + 0.5 * ord + 0.55 * li),
-        Query::Q10 => (cust + ord + li + nation, cust + 0.05 * ord + 0.3 * li + nation),
-        Query::Q12 => (ord + li, ord + 0.01 * li),
-        Query::Q19 => (part + li, 0.05 * part + 0.02 * li),
+    // (rows scanned, rows through joins, rows through sort+aggregate);
+    // selectivities are the paper's fixed predicates, hard-coded as
+    // coarse fractions.
+    let (scanned, joined, sorted) = match q {
+        Query::Q3 => (cust + ord + li, 0.2 * cust + 0.5 * ord + 0.55 * li, 0.3 * li),
+        Query::Q10 => (cust + ord + li + nation, cust + 0.05 * ord + 0.3 * li + nation, 0.25 * li),
+        Query::Q12 => (ord + li, ord + 0.01 * li, 0.0),
+        Query::Q19 => (part + li, 0.05 * part + 0.02 * li, 0.0),
     };
     let per_join_row = if optimized { 3.0 } else { 4.0 };
-    scanned + joined * per_join_row
+    let per_sorted_row = 3.0;
+    scanned + joined * per_join_row + sorted * per_sorted_row
 }
+
+/// Largest estimate-vs-actual spread admission control tolerates: the
+/// max/min ratio of `wall_cycles / cost_estimate` across every plan
+/// variant must stay below this bound, because sgx-serve's calibration
+/// derives ONE cycles-per-unit factor for the whole query table — a
+/// plan whose ratio drifts outside the band is silently mis-priced.
+/// The test below keeps the estimate honest as plans grow new steps.
+pub const ESTIMATE_SPREAD_TOLERANCE: f64 = 3.0;
 
 #[cfg(test)]
 mod tests {
@@ -496,6 +536,7 @@ mod tests {
                 let stepped = job.run_to_completion(&mut m2, &db2);
                 assert_eq!(stepped.count, mono.count, "{}: counts must agree", q.label());
                 assert_eq!(stepped.count, reference_count(&db2, q));
+                assert_eq!(stepped.grouped, mono.grouped, "{}: ordered outputs", q.label());
                 assert_eq!(
                     stepped.wall_cycles.to_bits(),
                     mono.wall_cycles.to_bits(),
@@ -548,6 +589,7 @@ mod tests {
             let mut degraded = ServiceJob::new(q, QueryConfig::new(4).with_optimization(true));
             let b = degraded.run_to_completion(&mut m, &db);
             assert_eq!(a.count, b.count, "{}: degraded plan must not change results", q.label());
+            assert_eq!(a.grouped, b.grouped, "{}: degraded plan must not reorder output", q.label());
         }
     }
 
@@ -574,5 +616,33 @@ mod tests {
         // The heaviest plan (Q10: three joins over the largest inputs)
         // must estimate above the lightest (Q19: two selective scans).
         assert!(cost_estimate(&small, Query::Q10, false) > cost_estimate(&small, Query::Q19, false));
+    }
+
+    #[test]
+    fn cost_estimate_tracks_actual_cycles_within_admission_tolerance() {
+        // Admission control calibrates one cycles-per-unit factor across
+        // all plan variants; the estimate only works if the actual/estimate
+        // ratio stays inside a bounded band for EVERY variant — including
+        // the new Q3/Q10 sort + aggregation tails.
+        let (mut m, db) = fresh(0.005, Setting::SgxDataInEnclave);
+        let mut ratios: Vec<(String, f64)> = Vec::new();
+        for q in Query::all() {
+            for optimized in [false, true] {
+                let cfg = QueryConfig::new(4).with_optimization(optimized);
+                let stats = run_query(&mut m, &db, q, &cfg);
+                let est = cost_estimate(&db, q, optimized);
+                ratios.push((format!("{} optimized={optimized}", q.label()), stats.wall_cycles / est));
+            }
+        }
+        let (mut lo, mut hi) = (f64::INFINITY, 0.0f64);
+        for &(_, r) in &ratios {
+            lo = lo.min(r);
+            hi = hi.max(r);
+        }
+        assert!(
+            hi / lo < ESTIMATE_SPREAD_TOLERANCE,
+            "estimate-vs-actual spread {:.2} exceeds admission tolerance {ESTIMATE_SPREAD_TOLERANCE}: {ratios:?}",
+            hi / lo
+        );
     }
 }
